@@ -1,0 +1,56 @@
+"""Shared session-scoped fixtures for the benchmark suite.
+
+The expensive artifacts — the MVQA dataset, the modified VQAv2, and
+the built SVQA systems — are constructed once per pytest session and
+shared by every benchmark file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SVQA
+from repro.dataset.mvqa import build_mvqa
+from repro.dataset.vqa2 import build_modified_vqa2
+
+
+@pytest.fixture(scope="session")
+def mvqa_dataset():
+    """The full MVQA build (13,808-scene pool -> 4,233 images, 100 QA)."""
+    return build_mvqa()
+
+
+@pytest.fixture(scope="session")
+def mvqa_svqa(mvqa_dataset):
+    """SVQA built over the full MVQA image base."""
+    svqa = SVQA(mvqa_dataset.scenes, mvqa_dataset.kg)
+    svqa.build()
+    return svqa
+
+
+@pytest.fixture(scope="session")
+def mvqa_query_graphs(mvqa_dataset, mvqa_svqa):
+    """Parsed query graphs for all 100 MVQA questions (None = parse
+    failure, the Fig. 8a case)."""
+    from repro.errors import QueryError
+
+    graphs = []
+    for question in mvqa_dataset.questions:
+        try:
+            graphs.append(mvqa_svqa.parse_question(question.text))
+        except QueryError:
+            graphs.append(None)
+    return graphs
+
+
+@pytest.fixture(scope="session")
+def vqa2_dataset():
+    """The modified-VQAv2 analogue (§VII)."""
+    return build_modified_vqa2()
+
+
+@pytest.fixture(scope="session")
+def vqa2_svqa(vqa2_dataset):
+    svqa = SVQA(vqa2_dataset.scenes, vqa2_dataset.kg)
+    svqa.build()
+    return svqa

@@ -1,0 +1,89 @@
+"""§V complexity analysis — executor cost vs merged-graph size.
+
+The paper derives O(N * |V|²/4) for answering an N-clause query over a
+merged graph with |V| vertices.  The simulated clock counts the
+executor's primitive operations, so the scaling is directly
+measurable: per-query matchVertex comparisons grow with the label count
+and relation-pair scans grow with the instance count, while the clause
+count N multiplies the whole thing.
+"""
+
+from repro.core import QueryGraphExecutor, SVQA, generate_query_graph
+from repro.dataset.kg import build_commonsense_kg
+from repro.eval.harness import format_table
+from repro.simtime import SimClock
+from repro.synth import SceneGenerator
+
+IMAGE_COUNTS = (50, 100, 200, 400)
+
+TWO_CLAUSE = "How many dogs are standing on the grass that is near the fence?"
+THREE_CLAUSE = ("How many dogs are standing on the grass that is near the "
+                "fence that is behind the house?")
+
+
+def build_merged(image_count):
+    scenes = SceneGenerator(seed=71).generate_pool(image_count)
+    svqa = SVQA(scenes, build_commonsense_kg())
+    svqa.build()
+    return svqa.merged
+
+
+def run_query(merged, question):
+    clock = SimClock()
+    executor = QueryGraphExecutor(merged, clock=clock)
+    executor.execute(generate_query_graph(question))
+    return clock
+
+
+def test_cost_scales_with_graph_size(benchmark):
+    def run():
+        rows = []
+        for image_count in IMAGE_COUNTS:
+            merged = build_merged(image_count)
+            clock = run_query(merged, TWO_CLAUSE)
+            rows.append((
+                image_count,
+                merged.graph.vertex_count,
+                clock.counts.get("edge_scan", 0),
+                clock.elapsed,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Images", "|V_mg|", "edges scanned", "latency (s)"],
+        [[str(n), str(v), str(e), f"{t:.3f}"] for n, v, e, t in rows],
+        title="Executor cost vs merged-graph size (2-clause query)",
+    ))
+
+    vertices = [v for _, v, _, _ in rows]
+    scans = [e for _, _, e, _ in rows]
+    latencies = [t for _, _, _, t in rows]
+    assert vertices == sorted(vertices)
+    # work grows with the graph (the |V|² term of §V)
+    assert scans[-1] > scans[0]
+    assert latencies[-1] > latencies[0]
+
+
+def test_cost_scales_with_clause_count(benchmark):
+    def run():
+        merged = build_merged(200)
+        two = run_query(merged, TWO_CLAUSE)
+        three = run_query(merged, THREE_CLAUSE)
+        return two, three
+
+    two, three = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Clauses N", "scope scans", "path probes", "latency (s)"],
+        [["2", str(two.counts.get("scope_scan", 0)),
+          str(two.counts.get("path_probe", 0)), f"{two.elapsed:.3f}"],
+         ["3", str(three.counts.get("scope_scan", 0)),
+          str(three.counts.get("path_probe", 0)), f"{three.elapsed:.3f}"]],
+        title="Executor cost vs clause count N (the O(N * |V|^2/4) factor)",
+    ))
+    # one more clause means one more vertex to query
+    assert three.counts.get("path_probe", 0) > \
+        two.counts.get("path_probe", 0)
+    assert three.elapsed > two.elapsed

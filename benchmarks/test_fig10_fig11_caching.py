@@ -1,0 +1,141 @@
+"""Exp-5 / Figures 10-11 — the key-centric caching mechanism.
+
+10(a): latency with vs without cache over growing question batches
+       (paper: ~48.9% average reduction, growing with batch size).
+10(b): granularity ablation on 100 questions — No / Scope / Path /
+       Both (paper: 13.46% / 27.61% / 38.72% reductions).
+11:    cache pool size sweep with LFU vs LRU at several batch sizes
+       (latency flattens once the pool holds everything; LFU slightly
+       ahead of LRU).
+"""
+
+import pytest
+
+from repro.core import KeyCentricCache, QueryGraphExecutor
+from repro.eval.harness import format_table
+from repro.simtime import SimClock
+
+BATCHES_10A = (20, 40, 60, 80, 100)
+POOL_SIZES = (10, 25, 50, 100, 200)
+
+
+def run_batch(merged, graphs, cache, count):
+    """Execute ``count`` query graphs on a fresh executor + clock."""
+    clock = SimClock()
+    executor = QueryGraphExecutor(merged, cache=cache, clock=clock)
+    for graph in graphs[:count]:
+        if graph is not None:
+            executor.execute(graph)
+    return clock.elapsed
+
+
+def make_cache(scope=True, path=True, pool=100, policy="lfu"):
+    if not (scope or path):
+        return KeyCentricCache.disabled()
+    return KeyCentricCache.create(pool_size=pool, policy=policy,
+                                  enabled_scope=scope, enabled_path=path)
+
+
+def test_fig10a_cache_vs_nocache(mvqa_svqa, mvqa_query_graphs, benchmark):
+    merged = mvqa_svqa.merged
+
+    def run():
+        rows = []
+        for count in BATCHES_10A:
+            without = run_batch(merged, mvqa_query_graphs,
+                                make_cache(False, False), count)
+            with_cache = run_batch(merged, mvqa_query_graphs,
+                                   make_cache(), count)
+            rows.append((count, without, with_cache))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Questions", "No cache (s)", "With cache (s)", "Reduction"],
+        [[str(n), f"{a:.2f}", f"{b:.2f}", f"{100 * (1 - b / a):.1f}%"]
+         for n, a, b in rows],
+        title="Figure 10(a) — latency with vs without the key-centric "
+              "cache (simulated seconds)",
+    ))
+
+    reductions = [1 - b / a for _, a, b in rows]
+    # caching always helps, averaging a substantial cut (paper ~48.9%)
+    assert all(r > 0.15 for r in reductions)
+    assert sum(reductions) / len(reductions) > 0.30
+    # the benefit at the largest batch beats the smallest
+    assert reductions[-1] >= reductions[0] - 0.05
+
+
+def test_fig10b_cache_granularity(mvqa_svqa, mvqa_query_graphs, benchmark):
+    merged = mvqa_svqa.merged
+    configs = {
+        "No": make_cache(False, False),
+        "S": make_cache(True, False),
+        "P": make_cache(False, True),
+        "B": make_cache(True, True),
+    }
+
+    def run():
+        return {
+            name: run_batch(merged, mvqa_query_graphs, cache, 100)
+            for name, cache in configs.items()
+        }
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = latencies["No"]
+    print()
+    print(format_table(
+        ["Granularity", "Latency (s)", "Reduction"],
+        [[name, f"{latencies[name]:.2f}",
+          f"{100 * (1 - latencies[name] / base):.1f}%"]
+         for name in ("No", "S", "P", "B")],
+        title="Figure 10(b) — cache granularity on 100 questions "
+              "(pool = 100)",
+    ))
+
+    # each component helps; both together help the most (paper:
+    # 13.46% scope, 27.61% path, 38.72% both)
+    assert latencies["S"] < base
+    assert latencies["P"] < base
+    assert latencies["B"] < latencies["S"]
+    assert latencies["B"] < latencies["P"]
+
+
+@pytest.mark.parametrize("question_count", (20, 60, 100))
+def test_fig11_pool_size(mvqa_svqa, mvqa_query_graphs, question_count,
+                         benchmark):
+    merged = mvqa_svqa.merged
+
+    def run():
+        table = {}
+        for policy in ("lfu", "lru"):
+            table[policy] = [
+                run_batch(merged, mvqa_query_graphs,
+                          make_cache(pool=pool, policy=policy),
+                          question_count)
+                for pool in POOL_SIZES
+            ]
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Policy"] + [f"pool={p}" for p in POOL_SIZES],
+        [[policy.upper()] + [f"{v:.2f}" for v in values]
+         for policy, values in table.items()],
+        title=f"Figure 11 — cache pool size sweep "
+              f"({question_count} questions, simulated seconds)",
+    ))
+
+    for policy in ("lfu", "lru"):
+        values = table[policy]
+        # larger pools never hurt much, and the curve flattens: the
+        # last doubling gains less than the first one
+        first_gain = values[0] - values[1]
+        last_gain = values[-2] - values[-1]
+        assert last_gain <= first_gain + 1e-9
+        assert values[-1] <= values[0] + 1e-9
+    # LFU at the largest pool is at least as good as LRU (paper:
+    # "LFU achieves slightly better performance in most cases")
+    assert table["lfu"][-1] <= table["lru"][-1] * 1.05

@@ -1,0 +1,108 @@
+"""Exp-4 / Figure 9 — query-parse latency.
+
+9(a): our linguistic method vs ABCD-MLP / ABCD-bilinear / DisSim over
+growing batch sizes.  The DL splitters pay a model-load cost, so ours
+wins at small batches and the gap narrows as the batch grows.
+
+9(b): query-graph generation latency by clause count — A = average,
+B/C/D = 1/2/3-clause questions; latency grows with clause count and
+the average stays well under a second (paper: 0.63 s).
+"""
+
+import pytest
+
+from repro.baselines import (
+    ABCD_BILINEAR,
+    ABCD_MLP,
+    BaselineSplitter,
+    DISSIM,
+    LinguisticSplitter,
+)
+from repro.core import generate_query_graph
+from repro.eval.harness import format_table
+from repro.simtime import SimClock
+
+BATCHES = (1, 5, 10, 20, 30)
+
+ONE_CLAUSE = "Is there a dog near the fence?"
+TWO_CLAUSE = "Does the dog that is holding the frisbee appear near the man?"
+THREE_CLAUSE = ("Does the dog that is holding the frisbee appear near the "
+                "man that is next to the bus?")
+
+
+def question_batch(n):
+    pool = [
+        ONE_CLAUSE, TWO_CLAUSE, THREE_CLAUSE,
+        "How many dogs are standing on the grass that is near the fence?",
+        "What kind of animals is carried by the pets that are standing "
+        "on the grass?",
+    ]
+    return [pool[i % len(pool)] for i in range(n)]
+
+
+def splitter_latency(make, n):
+    clock = SimClock()
+    splitter = make(clock)
+    splitter.split_many(question_batch(n))
+    return clock.elapsed
+
+
+def test_fig9a_method_comparison(benchmark):
+    def run():
+        table = {}
+        makers = {
+            "Ours": lambda clock: LinguisticSplitter(clock),
+            "ABCD-MLP": lambda clock: BaselineSplitter(ABCD_MLP, clock),
+            "ABCD-bilinear":
+                lambda clock: BaselineSplitter(ABCD_BILINEAR, clock),
+            "DisSim": lambda clock: BaselineSplitter(DISSIM, clock),
+        }
+        for name, make in makers.items():
+            table[name] = [splitter_latency(make, n) for n in BATCHES]
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name] + [f"{v:.2f}" for v in values]
+            for name, values in table.items()]
+    print()
+    print(format_table(
+        ["Method"] + [f"n={n}" for n in BATCHES], rows,
+        title="Figure 9(a) — splitting latency vs batch size "
+              "(simulated seconds)",
+    ))
+
+    # ours wins at small batch sizes (no model load)...
+    for name in ("ABCD-MLP", "ABCD-bilinear", "DisSim"):
+        assert table["Ours"][0] < table[name][0]
+    # ...and the advantage narrows as n grows (load cost amortizes)
+    def ratio(name, i):
+        return table[name][i] / table["Ours"][i]
+    for name in ("ABCD-MLP", "ABCD-bilinear", "DisSim"):
+        assert ratio(name, 0) > ratio(name, len(BATCHES) - 1)
+    # the paper reports roughly 10x overall on small batches
+    assert ratio("ABCD-MLP", 0) > 5
+
+
+def test_fig9b_latency_by_clause_count(benchmark):
+    def run():
+        latencies = {}
+        for label, question in (("B", ONE_CLAUSE), ("C", TWO_CLAUSE),
+                                ("D", THREE_CLAUSE)):
+            clock = SimClock()
+            generate_query_graph(question, clock=clock)
+            latencies[label] = clock.elapsed
+        latencies["A"] = sum(latencies[k] for k in "BCD") / 3
+        return latencies
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Type", "Latency (simulated s)"],
+        [[k, f"{latencies[k]:.4f}"] for k in "ABCD"],
+        title="Figure 9(b) — query-graph generation latency by question "
+              "complexity (A=avg, B/C/D = 1/2/3 clauses)",
+    ))
+
+    # latency grows with clause count; average under a second (paper 0.63s)
+    assert latencies["B"] < latencies["C"] < latencies["D"]
+    assert latencies["A"] < 1.0

@@ -1,0 +1,54 @@
+"""§V ablation — parallelizing query execution.
+
+The paper notes the executor "features high parallelization": once the
+merged graph is built, queries are independent, so a batch's wall time
+is the makespan over worker lanes.  This bench measures per-query
+simulated latencies and the estimated speedup at several worker counts.
+"""
+
+from repro.core import KeyCentricCache, QueryGraphExecutor, \
+    estimate_parallel_latency
+from repro.eval.harness import format_table
+from repro.simtime import SimClock
+
+WORKERS = (1, 2, 4, 8)
+
+
+def test_parallel_speedup(mvqa_svqa, mvqa_query_graphs, benchmark):
+    merged = mvqa_svqa.merged
+
+    def run():
+        clock = SimClock()
+        executor = QueryGraphExecutor(
+            merged, cache=KeyCentricCache.create(pool_size=100),
+            clock=clock,
+        )
+        latencies = []
+        for graph in mvqa_query_graphs:
+            if graph is None:
+                continue
+            start = clock.snapshot()
+            executor.execute(graph)
+            latencies.append(start.interval)
+        return latencies
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = sum(latencies)
+    rows = []
+    for workers in WORKERS:
+        makespan = estimate_parallel_latency(latencies, workers)
+        rows.append([str(workers), f"{makespan:.2f}",
+                     f"{serial / makespan:.2f}x"])
+    print()
+    print(format_table(
+        ["Workers", "Makespan (s)", "Speedup"], rows,
+        title="Parallel query execution — makespan vs worker count",
+    ))
+
+    makespans = [estimate_parallel_latency(latencies, w) for w in WORKERS]
+    # more workers never slow the batch down
+    assert all(a >= b for a, b in zip(makespans, makespans[1:]))
+    # near-linear at low counts (queries are comparable in size)
+    assert serial / makespans[1] > 1.6
+    # bounded by the longest single query
+    assert makespans[-1] >= max(latencies)

@@ -1,0 +1,38 @@
+"""Table I — comparison of VQA datasets.
+
+The literature rows are constants from the paper; the MVQA row is
+computed from the actual build.  The properties the paper highlights —
+MVQA is the only knowledge-based AND cross-image dataset, and has the
+longest average query — must hold for our build too.
+"""
+
+from repro.dataset.stats import LITERATURE_ROWS, mvqa_row
+from repro.eval.harness import format_table
+
+
+def test_table1_dataset_comparison(mvqa_dataset, benchmark):
+    ours = benchmark.pedantic(mvqa_row, args=(mvqa_dataset,),
+                              rounds=1, iterations=1)
+    rows = []
+    for row in LITERATURE_ROWS + (ours,):
+        rows.append([
+            row.name, str(row.images),
+            "yes" if row.knowledge_based else "no",
+            "yes" if row.cross_image else "no",
+            row.source, f"{row.avg_query_length:.1f}",
+        ])
+    print()
+    print(format_table(
+        ["Dataset", "Images", "Knowledge?", "Cross-image?", "Source",
+         "AvgQueryLen"],
+        rows, title="Table I — comparison of VQA datasets",
+    ))
+
+    # the claims the paper makes about MVQA
+    assert ours.knowledge_based and ours.cross_image
+    assert all(not r.cross_image for r in LITERATURE_ROWS)
+    assert ours.images == 4_233
+    # longest average query length of all datasets (paper: 16.9)
+    assert ours.avg_query_length > max(
+        r.avg_query_length for r in LITERATURE_ROWS
+    )

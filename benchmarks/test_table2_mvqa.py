@@ -1,0 +1,55 @@
+"""Table II — MVQA composition by question type.
+
+Paper values: 40/16/44 questions, 94/35/90 clauses, 58/28/70 unique
+SPOs (136 total), average 2.2 clauses per question, 40 questions with
+constraints, and 1593/2182/1201 images to inspect on average.
+"""
+
+from repro.core.spoc import QuestionType
+from repro.dataset.stats import (
+    average_clause_count,
+    table2_breakdown,
+    total_unique_spos,
+)
+from repro.eval.harness import format_table
+
+PAPER_ROWS = {
+    QuestionType.JUDGMENT: (40, 94, 58, 1593),
+    QuestionType.COUNTING: (16, 35, 28, 2182),
+    QuestionType.REASONING: (44, 90, 70, 1201),
+}
+
+
+def test_table2_mvqa_breakdown(mvqa_dataset, benchmark):
+    rows = benchmark.pedantic(table2_breakdown, args=(mvqa_dataset,),
+                              rounds=1, iterations=1)
+    printable = []
+    for row in rows:
+        paper = PAPER_ROWS[row.question_type]
+        printable.append([
+            row.question_type.value.capitalize(),
+            f"{row.questions} ({paper[0]})",
+            f"{row.clauses} ({paper[1]})",
+            f"{row.unique_spos} ({paper[2]})",
+            f"{row.avg_images} ({paper[3]})",
+        ])
+    print()
+    print(format_table(
+        ["Type", "Questions", "Clauses", "SPOs", "Avg. Images"],
+        printable,
+        title="Table II — MVQA composition (paper values in parens)",
+    ))
+    print(f"total unique SPOs: {total_unique_spos(mvqa_dataset)} "
+          f"(paper: 136)")
+    print(f"average clauses/question: "
+          f"{average_clause_count(mvqa_dataset):.2f} (paper: 2.2)")
+
+    by_type = {row.question_type: row for row in rows}
+    # exact composition match (the builder enforces it)
+    for qtype, (questions, clauses, _, _) in PAPER_ROWS.items():
+        assert by_type[qtype].questions == questions
+        assert by_type[qtype].clauses == clauses
+    # clause average ~2.2, inspect-image magnitudes in the paper's range
+    assert 2.0 <= average_clause_count(mvqa_dataset) <= 2.4
+    for row in rows:
+        assert 500 <= row.avg_images <= 4000

@@ -1,0 +1,81 @@
+"""Scene-graph generation with and without TDE (Figure 3 / Example 2).
+
+Builds the paper's example scene — a dog jumping over the grass to
+catch a frisbee while a man watches from behind a fence — and shows
+how the biased predictor drowns in "on"/"near" while the TDE-debiased
+predictor recovers the explicit relations.
+
+Run:  python examples/scene_graph_demo.py
+"""
+
+from repro.synth import (
+    Box,
+    SceneObject,
+    SceneRelation,
+    SyntheticScene,
+    complete_spatial_relations,
+)
+from repro.vision import (
+    MOTIFNET,
+    RelationPredictor,
+    SGGConfig,
+    SGGPipeline,
+    SimulatedDetector,
+)
+from repro.vision.detector import DetectorConfig
+
+
+def build_figure3_scene() -> SyntheticScene:
+    grass = SceneObject(0, "grass", Box(0, 70, 128, 58), 0.95)
+    dog = SceneObject(1, "dog", Box(34, 52, 26, 24), 0.30)
+    frisbee = SceneObject(2, "frisbee", Box(58, 58, 9, 8), 0.25)
+    man = SceneObject(3, "man", Box(86, 38, 20, 42), 0.55)
+    fence = SceneObject(4, "fence", Box(70, 30, 58, 16), 0.75)
+    relations = [
+        SceneRelation(1, 0, "jumping over"),
+        SceneRelation(1, 2, "catching"),
+        SceneRelation(3, 1, "watching"),
+        SceneRelation(1, 3, "in front of"),
+        SceneRelation(3, 1, "behind"),
+    ]
+    relations = complete_spatial_relations(
+        [grass, dog, frisbee, man, fence], relations
+    )
+    return SyntheticScene(0, [grass, dog, frisbee, man, fence], relations,
+                          caption="A dog jumps over the grass to catch a "
+                                  "frisbee while a man watches.")
+
+
+def show(title: str, result) -> None:
+    print(f"\n{title}")
+    names = [d.label for d in result.detections]
+    for relation in result.relations:
+        print(f"  {{{names[relation.src]}, {relation.predicate}, "
+              f"{names[relation.dst]}}}  (score {relation.score:.2f})")
+
+
+def main() -> None:
+    scene = build_figure3_scene()
+    print(f"ground truth: {scene.caption}")
+    for relation in scene.relations:
+        src = scene.objects[relation.src].category
+        dst = scene.objects[relation.dst].category
+        print(f"  {{{src}, {relation.predicate}, {dst}}}")
+
+    detector = SimulatedDetector(DetectorConfig(label_noise=0.0,
+                                                miss_rate=0.0))
+    predictor = RelationPredictor(MOTIFNET)
+
+    biased = SGGPipeline(detector, predictor,
+                         SGGConfig(use_tde=False)).run(scene)
+    show("(a) initial links — biased (many obscure on/near predicates):",
+         biased)
+
+    debiased = SGGPipeline(detector, predictor,
+                           SGGConfig(use_tde=True)).run(scene)
+    show("(c) TDE-debiased links — explicit relations recovered:",
+         debiased)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup script.
+
+Kept because the execution environment has no ``wheel`` package and no
+network, so PEP 660 editable installs (which need ``bdist_wheel``)
+fail; ``pip install -e .`` falls back to ``setup.py develop`` here.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

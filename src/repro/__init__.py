@@ -1,0 +1,24 @@
+"""repro — a reproduction of "Across Images and Graphs for Question
+Answering" (SVQA, ICDE 2024).
+
+The package implements the full SVQA stack from scratch: a graph
+database substrate, a simulated vision pipeline (detector + relation
+prediction + TDE debiasing), a computational-linguistics substrate
+(POS tagging, dependency parsing, embeddings), the SVQA core (data
+aggregator, query-graph generator, query executor with key-centric
+caching and scheduling), the MVQA dataset builder, and the paper's
+baselines.
+
+Quickstart
+----------
+>>> from repro import SVQA, build_movie_kg
+>>> # see examples/quickstart.py for a full end-to-end run
+"""
+
+from repro.core.pipeline import SVQA, SVQAConfig
+from repro.dataset.kg import build_movie_kg
+from repro.simtime import SimClock
+
+__version__ = "1.0.0"
+
+__all__ = ["SVQA", "SVQAConfig", "SimClock", "build_movie_kg", "__version__"]

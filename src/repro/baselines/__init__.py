@@ -1,0 +1,37 @@
+"""Baseline systems the paper compares against: per-image VQA models
+(VisualBert / ViLT / OFA) and sentence splitters (ABCD / DisSim).
+"""
+
+from repro.baselines.splitters import (
+    ABCD_BILINEAR,
+    ABCD_MLP,
+    DISSIM,
+    SPLITTERS,
+    BaselineSplitter,
+    LinguisticSplitter,
+    SplitterSpec,
+)
+from repro.baselines.vqa import (
+    BASELINES,
+    OFA,
+    VILT,
+    VISUALBERT,
+    BaselineSpec,
+    BaselineVQA,
+)
+
+__all__ = [
+    "ABCD_BILINEAR",
+    "ABCD_MLP",
+    "BASELINES",
+    "BaselineSpec",
+    "BaselineSplitter",
+    "BaselineVQA",
+    "DISSIM",
+    "LinguisticSplitter",
+    "OFA",
+    "SPLITTERS",
+    "SplitterSpec",
+    "VILT",
+    "VISUALBERT",
+]

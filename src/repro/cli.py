@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``ask``        answer one question over the movie scenario (Figure 1)
+``mvqa``       build MVQA and evaluate SVQA on it (Exp-1 / Table III)
+``stats``      print the MVQA dataset statistics (Tables I & II)
+``parse``      show the query graph for a question (Algorithm 2)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import SVQA, SVQAConfig, describe_query_graph, \
+    generate_query_graph
+from repro.errors import QueryError
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    from repro.dataset.kg import build_movie_kg
+    from repro.dataset.movie import build_movie_scenes
+    from repro.vision.detector import DetectorConfig
+
+    movie = build_movie_scenes()
+    config = SVQAConfig(detector=DetectorConfig(label_noise=0.0,
+                                                miss_rate=0.0))
+    svqa = SVQA(movie.scenes, build_movie_kg(), config,
+                annotations=movie.annotations)
+    svqa.build()
+    question = args.question or movie.flagship_question
+    try:
+        answer = svqa.answer(question)
+    except QueryError as exc:
+        print(f"cannot answer: {exc}", file=sys.stderr)
+        return 1
+    print(f"Q: {question}")
+    print(f"A: {answer.value}")
+    if answer.supporting_images:
+        print(f"   evidence images: {answer.supporting_images}")
+    return 0
+
+
+def _cmd_mvqa(args: argparse.Namespace) -> int:
+    from repro.dataset.mvqa import build_mvqa
+    from repro.eval.harness import evaluate, format_table, percentage
+
+    if args.fast:
+        dataset = build_mvqa(seed=5, pool_size=1_200, image_count=400)
+    else:
+        dataset = build_mvqa()
+    svqa = SVQA(dataset.scenes, dataset.kg)
+    svqa.build()
+    result = evaluate("SVQA", dataset.questions, svqa.answer_many,
+                      lambda: svqa.elapsed)
+    row = result.summary()
+    print(format_table(
+        ["Method", "Latency(Sec.)", "Judgment", "Counting", "Reasoning"],
+        [["SVQA", f"{row['latency']:.2f}", percentage(row["judgment"]),
+          percentage(row["counting"]), percentage(row["reasoning"])]],
+    ))
+    print(f"overall: {percentage(row['overall'])}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.dataset.mvqa import build_mvqa
+    from repro.dataset.stats import (
+        average_clause_count,
+        mvqa_row,
+        table2_breakdown,
+        total_unique_spos,
+    )
+    from repro.eval.harness import format_table
+
+    if args.fast:
+        dataset = build_mvqa(seed=5, pool_size=1_200, image_count=400)
+    else:
+        dataset = build_mvqa()
+    ours = mvqa_row(dataset)
+    print(f"MVQA: {ours.images} images, "
+          f"avg query length {ours.avg_query_length:.1f} tokens, "
+          f"{total_unique_spos(dataset)} unique SPOs, "
+          f"{average_clause_count(dataset):.2f} clauses/question")
+    rows = table2_breakdown(dataset)
+    print(format_table(
+        ["Type", "Questions", "Clauses", "SPOs", "Avg. Images"],
+        [[r.question_type.value, str(r.questions), str(r.clauses),
+          str(r.unique_spos), str(r.avg_images)] for r in rows],
+    ))
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    try:
+        graph = generate_query_graph(args.question)
+    except QueryError as exc:
+        print(f"parse failed: {exc}", file=sys.stderr)
+        return 1
+    print(describe_query_graph(graph))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SVQA reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ask = commands.add_parser("ask", help="answer a question over the "
+                                          "movie scenario")
+    ask.add_argument("question", nargs="?", default=None)
+    ask.set_defaults(handler=_cmd_ask)
+
+    mvqa = commands.add_parser("mvqa", help="evaluate SVQA on MVQA")
+    mvqa.add_argument("--fast", action="store_true")
+    mvqa.set_defaults(handler=_cmd_mvqa)
+
+    stats = commands.add_parser("stats", help="MVQA dataset statistics")
+    stats.add_argument("--fast", action="store_true")
+    stats.set_defaults(handler=_cmd_stats)
+
+    parse_cmd = commands.add_parser("parse", help="show a question's "
+                                                  "query graph")
+    parse_cmd.add_argument("question")
+    parse_cmd.set_defaults(handler=_cmd_parse)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

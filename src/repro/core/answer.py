@@ -1,0 +1,97 @@
+"""Answer types and ``getFinalanswer`` (Algorithm 3, line 19).
+
+Three question types (§V): judgment (yes/no), counting (a number), and
+reasoning (an entity/category name).  The answer object also carries
+its supporting relation pairs so examples can show *why* an answer was
+produced.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.graph import RelationPair
+from repro.core.spoc import QuestionType, SPOC
+
+
+@dataclass
+class Answer:
+    """The final answer to a complex query."""
+
+    question_type: QuestionType
+    value: str
+    support: list[RelationPair] = field(default_factory=list)
+    latency: float | None = None
+
+    @property
+    def supporting_images(self) -> list[int]:
+        """Distinct image ids among the supporting relation pairs."""
+        images = {
+            pair.edge.props.get("image_id")
+            for pair in self.support
+            if pair.edge.props.get("image_id") is not None
+        }
+        return sorted(images)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def final_answer(
+    spoc: SPOC,
+    pairs: list[RelationPair],
+    kind_filter=None,
+    kind_min_images: int = 3,
+) -> Answer:
+    """Aggregate the main clause's answer pairs into an Answer.
+
+    ``kind_filter(label, ancestor)`` decides, for "kind of X" answer
+    terms, whether a candidate label is a kind of X (injected by the
+    executor so the check can consult the merged graph's ``is a``
+    hierarchy).
+    """
+    qtype = spoc.question_type or QuestionType.REASONING
+    term = spoc.slot(spoc.answer_role)
+
+    if qtype is QuestionType.JUDGMENT:
+        value = "yes" if pairs else "no"
+        return Answer(qtype, value, pairs)
+
+    answer_vertices = [
+        pair.subject if spoc.answer_role == "subject" else pair.object
+        for pair in pairs
+    ]
+
+    if qtype is QuestionType.COUNTING:
+        if term is not None and term.kind_of:
+            # kind counting ignores labels with single-image support —
+            # one hallucinated edge must not add a "kind"
+            images_per_label: dict[str, set] = {}
+            for pair, vertex in zip(pairs, answer_vertices):
+                evidence = pair.edge.props.get("image_id", pair.edge.id)
+                images_per_label.setdefault(vertex.label,
+                                            set()).add(evidence)
+            count = sum(1 for images in images_per_label.values()
+                        if len(images) >= kind_min_images)
+        else:
+            count = len({v.id for v in answer_vertices})
+        return Answer(qtype, str(count), pairs)
+
+    # reasoning: most-supported candidate label
+    labels = [v.label for v in answer_vertices
+              if v.props.get("kind") != "concept" or v.label]
+    if term is not None and term.kind_of and kind_filter is not None:
+        labels = [
+            label for label in labels
+            if label.lower() != term.head.lower()
+            and kind_filter(label, term.head)
+        ]
+    if not labels:
+        return Answer(qtype, "unknown", [])
+    winner = Counter(labels).most_common(1)[0][0]
+    support = [
+        pair for pair, vertex in zip(pairs, answer_vertices)
+        if vertex.label == winner
+    ]
+    return Answer(qtype, winner, support)

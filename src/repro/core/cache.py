@@ -1,0 +1,201 @@
+"""Caching: LFU / LRU stores and the key-centric scope/path cache (§V-B).
+
+The executor's two expensive operations are cached:
+
+* **scope** — ``matchVertex`` results: a term key -> the matched
+  merged-graph vertex ids (the full label scan this avoids is the
+  "scope" of the paper);
+* **path** — ``getRelationpairs`` results: a (subject-key, predicate,
+  object-key) triple -> the relation pairs (the neighborhood traversal
+  this avoids is the "path").
+
+Both sit on an evicting store; the paper uses LFU [39] and compares it
+against LRU [47] in Figure 11, so both policies are implemented behind
+one interface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+class EvictingCache:
+    """Interface: a bounded key-value store with an eviction policy."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        raise NotImplementedError
+
+    def put(self, key: Hashable, value: Any) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LFUCache(EvictingCache):
+    """Least-Frequently-Used eviction; ties broken by recency (older
+    first), which is the classic LFU-with-aging behaviour."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._values: dict[Hashable, Any] = {}
+        self._frequency: dict[Hashable, int] = {}
+        self._clock = 0
+        self._last_used: dict[Hashable, int] = {}
+
+    def get(self, key: Hashable) -> Any | None:
+        if key not in self._values:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(key)
+        return self._values[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        if key not in self._values and len(self._values) >= self.capacity:
+            self._evict()
+        self._values[key] = value
+        self._touch(key)
+
+    def _touch(self, key: Hashable) -> None:
+        self._clock += 1
+        self._frequency[key] = self._frequency.get(key, 0) + 1
+        self._last_used[key] = self._clock
+
+    def _evict(self) -> None:
+        victim = min(
+            self._values,
+            key=lambda k: (self._frequency[k], self._last_used[k]),
+        )
+        del self._values[victim]
+        del self._frequency[victim]
+        del self._last_used[victim]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class LRUCache(EvictingCache):
+    """Least-Recently-Used eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._values: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable) -> Any | None:
+        if key not in self._values:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._values.move_to_end(key)
+        return self._values[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._values:
+            self._values.move_to_end(key)
+        elif len(self._values) >= self.capacity:
+            self._values.popitem(last=False)
+        self._values[key] = value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def make_cache(policy: str, capacity: int) -> EvictingCache:
+    """Factory: ``"lfu"`` or ``"lru"``."""
+    if policy == "lfu":
+        return LFUCache(capacity)
+    if policy == "lru":
+        return LRUCache(capacity)
+    raise ValueError(f"unknown cache policy: {policy!r}")
+
+
+@dataclass
+class KeyCentricCache:
+    """The §V-B two-level cache over matchVertex and getRelationpairs.
+
+    ``enabled_scope`` / ``enabled_path`` allow the Figure-10(b)
+    granularity ablation (No / Scope / Path / Both).
+    """
+
+    scope: EvictingCache
+    path: EvictingCache
+    enabled_scope: bool = True
+    enabled_path: bool = True
+
+    @classmethod
+    def create(
+        cls,
+        pool_size: int = 100,
+        policy: str = "lfu",
+        enabled_scope: bool = True,
+        enabled_path: bool = True,
+    ) -> "KeyCentricCache":
+        return cls(
+            scope=make_cache(policy, pool_size),
+            path=make_cache(policy, pool_size),
+            enabled_scope=enabled_scope,
+            enabled_path=enabled_path,
+        )
+
+    @classmethod
+    def disabled(cls) -> "KeyCentricCache":
+        return cls.create(pool_size=0, enabled_scope=False,
+                          enabled_path=False)
+
+    # scope ---------------------------------------------------------------
+    def get_scope(self, key: Hashable) -> Any | None:
+        if not self.enabled_scope:
+            return None
+        return self.scope.get(key)
+
+    def put_scope(self, key: Hashable, value: Any) -> None:
+        if self.enabled_scope:
+            self.scope.put(key, value)
+
+    # path ----------------------------------------------------------------
+    def get_path(self, key: Hashable) -> Any | None:
+        if not self.enabled_path:
+            return None
+        return self.path.get(key)
+
+    def put_path(self, key: Hashable, value: Any) -> None:
+        if self.enabled_path:
+            self.path.put(key, value)
+
+    @property
+    def item_count(self) -> int:
+        return len(self.scope) + len(self.path)
+
+
+@dataclass
+class CacheReport:
+    """Hit/miss statistics after a batch run."""
+
+    scope_hits: int
+    scope_misses: int
+    path_hits: int
+    path_misses: int
+
+    @classmethod
+    def from_cache(cls, cache: KeyCentricCache) -> "CacheReport":
+        return cls(cache.scope.hits, cache.scope.misses,
+                   cache.path.hits, cache.path.misses)

@@ -1,0 +1,483 @@
+"""QueryGraphExecutor: Algorithm 3 — running ``G_q`` over ``G_mg``.
+
+The executor walks the query graph from its in-degree-0 condition
+vertices toward the main clause.  For every vertex it
+
+1. **matches** the subject/object terms to merged-graph vertices
+   (``matchVertex``: normalized-Levenshtein label matching, possessive
+   resolution through KG edges, and ``is a`` / ``instance of``
+   expansion so "pets" finds dog/cat/bird instances);
+2. **retrieves** the relation pairs between the two vertex sets
+   (``getRelationpairs``);
+3. **filters** pairs by the predicate's most similar edge label
+   (``maxScore`` over embeddings) and applies the constraint
+   ("most frequently" keeps the subject group supported by the most
+   images);
+4. **propagates** the surviving labels along S2S/S2O/O2S/O2O edges to
+   its consumers (Update stage).
+
+The key-centric cache short-circuits steps 1 (scope) and 2 (path);
+every uncached operation charges the simulated clock with its true
+data-dependent cost, which is what the latency experiments measure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.graph import Graph, RelationPair, Vertex, relations_between
+from repro.nlp.dword import within_distance
+from repro.nlp.embeddings import max_score, rank_scores
+from repro.nlp.morphology import noun_singular
+from repro.nlp.semlex import are_synonyms
+from repro.simtime import SimClock
+from repro.core.aggregator import MergedGraph
+from repro.core.answer import Answer, final_answer
+from repro.core.cache import KeyCentricCache
+from repro.core.spoc import QueryGraph, SPOC, Term
+from repro.core.spoc_extract import CONSTRAINT_WORDS
+from repro.dataset.kg import INSTANCE_OF, IS_A
+
+#: edge labels that carry structure, not scene/KG relations
+_STRUCTURAL_LABELS = frozenset({INSTANCE_OF, IS_A})
+
+
+@dataclass
+class ExecutorConfig:
+    """Matching thresholds of Algorithm 3."""
+
+    ld_threshold: float = 0.34        # normalized-Levenshtein cutoff
+    predicate_threshold: float = 0.55  # cosine floor for edge labels
+    expansion_hops: int = 2           # "is a" hops in matchVertex
+
+
+@dataclass
+class VertexResult:
+    """What executing one query-graph vertex produced."""
+
+    spoc: SPOC
+    subjects: list[Vertex]
+    objects: list[Vertex]
+    pairs: list[RelationPair]
+    matched_predicate: str | None
+
+    def subjects_of_pairs(self) -> list[Vertex]:
+        """Distinct subjects among the surviving pairs (``AP.Sub``)."""
+        seen: dict[int, Vertex] = {}
+        for pair in self.pairs:
+            seen.setdefault(pair.subject.id, pair.subject)
+        return list(seen.values())
+
+    def objects_of_pairs(self) -> list[Vertex]:
+        """Distinct objects among the surviving pairs (``AP.Obj``)."""
+        seen: dict[int, Vertex] = {}
+        for pair in self.pairs:
+            seen.setdefault(pair.object.id, pair.object)
+        return list(seen.values())
+
+
+class QueryGraphExecutor:
+    """Executes query graphs over a merged graph."""
+
+    def __init__(
+        self,
+        merged: MergedGraph,
+        cache: KeyCentricCache | None = None,
+        clock: SimClock | None = None,
+        config: ExecutorConfig | None = None,
+    ) -> None:
+        self.merged = merged
+        self.graph: Graph = merged.graph
+        self.cache = cache if cache is not None else KeyCentricCache.disabled()
+        self.clock = clock
+        self.config = config or ExecutorConfig()
+        self._relation_labels = [
+            label for label in merged.edge_labels
+            if label not in _STRUCTURAL_LABELS
+        ]
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 main loop
+    # ------------------------------------------------------------------
+    def execute(self, query_graph: QueryGraph) -> Answer:
+        """Run one query graph and produce the final answer."""
+        bindings: dict[int, dict[str, list[str] | None]] = {
+            i: {"subject": None, "object": None}
+            for i in range(len(query_graph.vertices))
+        }
+        results: dict[int, VertexResult] = {}
+        pending = deque(query_graph.start_vertices())
+        if not pending:
+            raise ExecutionError("query graph has no start vertices")
+        executed: set[int] = set()
+        remaining_inputs = {
+            i: query_graph.in_degree(i)
+            for i in range(len(query_graph.vertices))
+        }
+
+        last: VertexResult | None = None
+        while pending:
+            index = pending.popleft()
+            if index in executed:
+                continue
+            executed.add(index)
+            spoc = query_graph.vertices[index]
+            result = self._execute_vertex(spoc, bindings[index])
+            results[index] = result
+            last = result
+            # Update stage: propagate to consumers
+            for dst, kind in query_graph.out_edges(index):
+                provider_vertices = (
+                    result.subjects_of_pairs()
+                    if kind.provider_slot == "subject"
+                    else result.objects_of_pairs()
+                )
+                labels = sorted({v.label for v in provider_vertices})
+                bindings[dst][kind.consumer_slot] = labels
+                remaining_inputs[dst] -= 1
+                if remaining_inputs[dst] <= 0:
+                    pending.append(dst)
+
+        main_index = query_graph.main_index
+        if main_index not in results:
+            raise ExecutionError(
+                "main clause never executed — query graph is disconnected"
+            )
+        main_result = results[main_index]
+        return final_answer(
+            main_result.spoc, main_result.pairs, kind_filter=self._is_kind_of
+        )
+
+    # ------------------------------------------------------------------
+    # Query stage
+    # ------------------------------------------------------------------
+    def _execute_vertex(
+        self, spoc: SPOC, binding: dict[str, list[str] | None]
+    ) -> VertexResult:
+        subjects = self._resolve_slot(spoc.subject, binding["subject"])
+        objects = self._resolve_slot(spoc.object, binding["object"])
+
+        if spoc.predicate == "be":
+            pairs = self._be_pairs(subjects, objects)
+            matched = "be"
+        else:
+            pairs = self._relation_pairs(spoc, binding, subjects, objects)
+            matched, pairs = self._filter_by_predicate(spoc.predicate, pairs)
+        pairs = self._apply_constraint(spoc, pairs)
+        return VertexResult(spoc, subjects, objects, pairs, matched)
+
+    def _resolve_slot(
+        self, term: Term | None, bound_labels: list[str] | None
+    ) -> list[Vertex]:
+        if bound_labels is not None:
+            vertices: dict[int, Vertex] = {}
+            for label in bound_labels:
+                for vertex in self.match_vertex_label(label):
+                    vertices.setdefault(vertex.id, vertex)
+            return list(vertices.values())
+        if term is None:
+            return []
+        return self.match_vertex(term)
+
+    # ------------------------------------------------------------------
+    # matchVertex
+    # ------------------------------------------------------------------
+    def match_vertex(self, term: Term) -> list[Vertex]:
+        """The paper's ``matchVertex``: term -> merged-graph vertices."""
+        if term.owner is not None:
+            return self._match_possessive(term)
+        return self.match_vertex_label(term.head)
+
+    def match_vertex_label(self, label: str) -> list[Vertex]:
+        """Label -> vertices, LD match + is-a/instance-of expansion."""
+        key = ("scope", label.lower())
+        cached = self.cache.get_scope(key)
+        if cached is not None:
+            if self.clock is not None:
+                self.clock.charge("cache_hit")
+            return [self.graph.vertex(i) for i in cached
+                    if self.graph.has_vertex(i)]
+
+        if self.clock is not None:
+            self.clock.charge("scope_scan")
+            self.clock.charge("vertex_match",
+                              times=len(self.graph.vertex_labels))
+        direct: list[Vertex] = []
+        for candidate in self.graph.vertex_labels.labels():
+            if self._labels_match(label, candidate):
+                direct.extend(self.graph.find_vertices(candidate))
+        expanded = self._expand_to_instances(direct)
+        self.cache.put_scope(key, [v.id for v in expanded])
+        return expanded
+
+    def _labels_match(self, query: str, candidate: str) -> bool:
+        """``matchVertex``'s label test.
+
+        Exact, number-normalized, and synonym matches always count;
+        the normalized-Levenshtein fallback only applies to words of
+        five or more characters, so short labels ("cat"/"car",
+        "grass"/"dress") don't collide on one edit.
+        """
+        q = query.lower()
+        c = candidate.lower()
+        if q == c:
+            return True
+        if noun_singular(q) == noun_singular(c):
+            return True
+        if are_synonyms(q, c) and not _is_category(q):
+            # a non-category query word reaches its cluster ("puppy"
+            # finds dog instances); a category query ("girl") matches
+            # exactly, so it neither bleeds into sibling categories
+            # ("woman") nor climbs to a broad concept ("person")
+            return True
+        if min(len(q), len(c)) >= 5:
+            return within_distance(q, c, self.config.ld_threshold)
+        return False
+
+    def _match_possessive(self, term: Term) -> list[Vertex]:
+        """"Harry Potter's girlfriend": resolve the owner, follow its
+        most similar out-edge, expand the targets."""
+        key = ("scope-poss", term.owner.lower(), term.head.lower())
+        cached = self.cache.get_scope(key)
+        if cached is not None:
+            if self.clock is not None:
+                self.clock.charge("cache_hit")
+            return [self.graph.vertex(i) for i in cached
+                    if self.graph.has_vertex(i)]
+
+        owners = self.match_vertex_label(term.owner)
+        out_labels = sorted({
+            edge.label
+            for owner in owners
+            for edge in self.graph.out_edges(owner.id)
+            if edge.label not in _STRUCTURAL_LABELS
+        })
+        if self.clock is not None:
+            self.clock.charge("embed_score", times=max(1, len(out_labels)))
+        best, score = max_score(term.head, out_labels)
+        targets: dict[int, Vertex] = {}
+        if best is not None and score >= self.config.predicate_threshold:
+            for owner in owners:
+                for edge in self.graph.out_edges(owner.id):
+                    if edge.label == best:
+                        vertex = self.graph.vertex(edge.dst)
+                        targets.setdefault(vertex.id, vertex)
+        expanded = self._expand_to_instances(list(targets.values()))
+        self.cache.put_scope(key, [v.id for v in expanded])
+        return expanded
+
+    def _expand_to_instances(self, vertices: list[Vertex]) -> list[Vertex]:
+        """Close the match set downward: concepts -> hyponym concepts
+        (reverse ``is a``, up to ``expansion_hops`` levels) -> instances
+        (one final reverse ``instance of`` sweep)."""
+        result: dict[int, Vertex] = {v.id: v for v in vertices}
+        frontier = list(vertices)
+        for _ in range(self.config.expansion_hops):
+            next_frontier: list[Vertex] = []
+            for vertex in frontier:
+                for edge in self.graph.in_edges(vertex.id):
+                    if edge.label != IS_A:
+                        continue
+                    child = self.graph.vertex(edge.src)
+                    if child.id not in result:
+                        result[child.id] = child
+                        next_frontier.append(child)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        for vertex in list(result.values()):
+            for edge in self.graph.in_edges(vertex.id):
+                if edge.label != INSTANCE_OF:
+                    continue
+                child = self.graph.vertex(edge.src)
+                result.setdefault(child.id, child)
+        return list(result.values())
+
+    # ------------------------------------------------------------------
+    # getRelationpairs + filter
+    # ------------------------------------------------------------------
+    def _relation_pairs(
+        self,
+        spoc: SPOC,
+        binding: dict[str, list[str] | None],
+        subjects: list[Vertex],
+        objects: list[Vertex],
+    ) -> list[RelationPair]:
+        key = (
+            "path",
+            self._slot_key(spoc.subject, binding["subject"]),
+            self._slot_key(spoc.object, binding["object"]),
+        )
+        cached = self.cache.get_path(key)
+        if cached is not None:
+            if self.clock is not None:
+                self.clock.charge("cache_hit")
+            return cached
+
+        if self.clock is not None:
+            self.clock.charge("path_probe")
+            scans = sum(self.graph.out_degree(v.id) for v in subjects)
+            self.clock.charge("edge_scan", times=scans)
+
+        if subjects and objects:
+            pairs = relations_between(self.graph, subjects, objects)
+        elif subjects:
+            pairs = [
+                RelationPair(subject, edge, self.graph.vertex(edge.dst))
+                for subject in subjects
+                for edge in self.graph.out_edges(subject.id)
+            ]
+        elif objects:
+            pairs = [
+                RelationPair(self.graph.vertex(edge.src), edge, obj)
+                for obj in objects
+                for edge in self.graph.in_edges(obj.id)
+            ]
+        else:
+            pairs = []
+        pairs = [p for p in pairs if p.edge.label not in _STRUCTURAL_LABELS]
+        self.cache.put_path(key, pairs)
+        return pairs
+
+    def _slot_key(
+        self, term: Term | None, bound: list[str] | None
+    ) -> tuple:
+        if bound is not None:
+            return tuple(sorted(label.lower() for label in bound))
+        if term is None:
+            return ("*",)
+        return (term.head.lower(), term.owner.lower() if term.owner else "")
+
+    def _filter_by_predicate(
+        self, predicate: str, pairs: list[RelationPair]
+    ) -> tuple[str | None, list[RelationPair]]:
+        """Keep pairs whose edge label best matches the predicate."""
+        if not pairs:
+            return None, []
+        labels = sorted({pair.edge.label for pair in pairs})
+        if self.clock is not None:
+            self.clock.charge("embed_score", times=len(labels))
+        ranked = rank_scores(predicate, labels)
+        best, best_score = ranked[0]
+        if best_score < self.config.predicate_threshold:
+            return None, []
+        accepted = {
+            label for label, score in ranked
+            if score >= max(self.config.predicate_threshold,
+                            best_score - 0.05)
+        }
+        return best, [p for p in pairs if p.edge.label in accepted]
+
+    def _be_pairs(
+        self, subjects: list[Vertex], objects: list[Vertex]
+    ) -> list[RelationPair]:
+        """Identity/IS-A pairs for copular predicates ("Is X a cat?")."""
+        object_ids = {v.id for v in objects}
+        object_labels = {v.label.lower() for v in objects}
+        pairs: list[RelationPair] = []
+        for subject in subjects:
+            if subject.label.lower() in object_labels:
+                for obj in objects:
+                    if obj.label.lower() == subject.label.lower() \
+                            and obj.id != subject.id:
+                        pairs.append(RelationPair(
+                            subject,
+                            self.graph.edges_between(subject.id, obj.id)[0]
+                            if self.graph.edges_between(subject.id, obj.id)
+                            else _virtual_edge(subject, obj),
+                            obj,
+                        ))
+                        break
+                continue
+            for edge in self.graph.out_edges(subject.id):
+                if edge.label in _STRUCTURAL_LABELS and \
+                        edge.dst in object_ids:
+                    pairs.append(RelationPair(
+                        subject, edge, self.graph.vertex(edge.dst)
+                    ))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+    def _apply_constraint(
+        self, spoc: SPOC, pairs: list[RelationPair]
+    ) -> list[RelationPair]:
+        if spoc.constraint is None or not pairs:
+            return pairs
+        if self.clock is not None:
+            self.clock.charge("embed_score", times=len(CONSTRAINT_WORDS))
+        constraint, score = max_score(spoc.constraint,
+                                      list(CONSTRAINT_WORDS))
+        if constraint is None or score < 0.5:
+            return pairs
+        keep_max = constraint.startswith("most")
+        # group by the propagating slot's label, weigh by distinct images
+        slot = spoc.answer_role
+        groups: dict[str, set] = {}
+        for pair in pairs:
+            vertex = pair.subject if slot == "subject" else pair.object
+            evidence = pair.edge.props.get("image_id", pair.edge.id)
+            groups.setdefault(vertex.label, set()).add(evidence)
+        counts = Counter({label: len(ev) for label, ev in groups.items()})
+        if not counts:
+            return pairs
+        ranked = counts.most_common()
+        target = ranked[0][1] if keep_max else ranked[-1][1]
+        winners = {label for label, count in ranked if count == target}
+        return [
+            pair for pair in pairs
+            if (pair.subject if slot == "subject" else pair.object).label
+            in winners
+        ]
+
+    # ------------------------------------------------------------------
+    # answer-side helpers
+    # ------------------------------------------------------------------
+    def _is_kind_of(self, label: str, ancestor: str) -> bool:
+        """Whether ``label`` is a kind of ``ancestor`` in the merged
+        graph's ``is a`` hierarchy."""
+        start_vertices = [
+            v for v in self.graph.find_vertices(label)
+        ]
+        seen: set[int] = set()
+        frontier = [v.id for v in start_vertices]
+        target = ancestor.lower()
+        hops = 0
+        while frontier and hops <= self.config.expansion_hops + 1:
+            next_frontier: list[int] = []
+            for vertex_id in frontier:
+                if vertex_id in seen:
+                    continue
+                seen.add(vertex_id)
+                vertex = self.graph.vertex(vertex_id)
+                if vertex.label.lower() == target:
+                    return True
+                for edge in self.graph.out_edges(vertex_id):
+                    if edge.label in _STRUCTURAL_LABELS:
+                        next_frontier.append(edge.dst)
+            frontier = next_frontier
+            hops += 1
+        return False
+
+
+def _is_category(label: str) -> bool:
+    return noun_singular(label) in _CATEGORY_SET
+
+
+def _category_set() -> frozenset[str]:
+    from repro.synth.taxonomy import category_names
+
+    return frozenset(category_names())
+
+
+_CATEGORY_SET = _category_set()
+
+
+def _virtual_edge(subject: Vertex, obj: Vertex):
+    """A synthetic identity edge for label-equality "be" matches."""
+    from repro.graph.model import Edge
+
+    return Edge(-1, subject.id, obj.id, "be", {})

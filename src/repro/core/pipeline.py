@@ -1,0 +1,216 @@
+"""The SVQA facade: images + knowledge graph -> answers (Figure 2).
+
+``SVQA`` wires the full stack together:
+
+* **build** — run scene-graph generation over every image and merge
+  the results with the knowledge graph (Data Aggregator, §III);
+* **answer** — decompose a question into a query graph (§IV) and
+  execute it over the merged graph (§V);
+* **answer_many** — the multi-query path with the §V-B optimizations:
+  key-centric caching and frequency-ratio scheduling.
+
+All latencies are accounted on a :class:`~repro.simtime.SimClock`
+(see that module for why), and every answer carries its own simulated
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.graph import Graph
+from repro.simtime import SimClock
+from repro.synth.scene import SyntheticScene
+from repro.vision.detector import DetectorConfig, SimulatedDetector
+from repro.vision.relation import MODELS, RelationPredictor
+from repro.vision.scene_graph import SGGConfig, SGGPipeline, SceneGraphResult
+from repro.core.aggregator import AggregatorConfig, DataAggregator, MergedGraph
+from repro.core.answer import Answer
+from repro.core.cache import CacheReport, KeyCentricCache
+from repro.core.executor import ExecutorConfig, QueryGraphExecutor
+from repro.core.query_graph import generate_query_graph
+from repro.core.scheduler import schedule_queries
+from repro.core.spoc import QueryGraph, QuestionType
+
+
+@dataclass
+class SVQAConfig:
+    """End-to-end configuration of the SVQA system."""
+
+    relation_model: str = "neural-motifs"
+    use_tde: bool = True
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    sgg: SGGConfig = field(default_factory=SGGConfig)
+    aggregator: AggregatorConfig = field(default_factory=AggregatorConfig)
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    cache_pool_size: int = 100
+    cache_policy: str = "lfu"
+    enable_scope_cache: bool = True
+    enable_path_cache: bool = True
+    enable_scheduler: bool = True
+
+
+class SVQA:
+    """The complete system of the paper.
+
+    >>> from repro.dataset.kg import build_commonsense_kg
+    >>> from repro.synth import SceneGenerator
+    >>> scenes = SceneGenerator(seed=0).generate_pool(10)
+    >>> svqa = SVQA(scenes, build_commonsense_kg())
+    >>> svqa.build()                                    # doctest: +SKIP
+    >>> svqa.answer("Is there a dog near the fence?")   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        scenes: list[SyntheticScene],
+        kg: Graph,
+        config: SVQAConfig | None = None,
+        clock: SimClock | None = None,
+        annotations: dict[tuple[int, str], str] | None = None,
+    ) -> None:
+        self.scenes = scenes
+        self.kg = kg
+        self.config = config or SVQAConfig()
+        self.clock = clock if clock is not None else SimClock()
+        self.annotations = annotations
+        self.merged: MergedGraph | None = None
+        self.scene_graphs: list[SceneGraphResult] | None = None
+        self._cache = self._make_cache()
+        self._executor: QueryGraphExecutor | None = None
+
+    def _make_cache(self) -> KeyCentricCache:
+        config = self.config
+        if not (config.enable_scope_cache or config.enable_path_cache):
+            return KeyCentricCache.disabled()
+        return KeyCentricCache.create(
+            pool_size=config.cache_pool_size,
+            policy=config.cache_policy,
+            enabled_scope=config.enable_scope_cache,
+            enabled_path=config.enable_path_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # offline phase
+    # ------------------------------------------------------------------
+    def build(self) -> MergedGraph:
+        """Scene-graph generation + graph merging (query-independent).
+
+        Images and graph are query-independent (Assumption 1), so this
+        runs once, before any question arrives.
+        """
+        spec = MODELS.get(self.config.relation_model)
+        if spec is None:
+            raise QueryError(
+                f"unknown relation model: {self.config.relation_model!r}"
+            )
+        self.clock.charge("model_load_sgg")
+        sgg_config = SGGConfig(**{
+            **self.config.sgg.__dict__, "use_tde": self.config.use_tde,
+        })
+        pipeline = SGGPipeline(
+            SimulatedDetector(self.config.detector),
+            RelationPredictor(spec),
+            sgg_config,
+            clock=self.clock,
+        )
+        self.scene_graphs = pipeline.run_many(self.scenes)
+        aggregator = DataAggregator(self.kg, self.config.aggregator,
+                                    clock=self.clock)
+        self.merged = aggregator.merge(self.scene_graphs, self.annotations)
+        self._executor = QueryGraphExecutor(
+            self.merged, cache=self._cache, clock=self.clock,
+            config=self.config.executor,
+        )
+        return self.merged
+
+    def _require_built(self) -> QueryGraphExecutor:
+        if self._executor is None:
+            raise QueryError("call build() before answering questions")
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # online phase
+    # ------------------------------------------------------------------
+    def parse_question(self, question: str) -> QueryGraph:
+        """§IV: question -> ordered query graph."""
+        return generate_query_graph(question, clock=self.clock)
+
+    def answer(self, question: str) -> Answer:
+        """Answer one complex question."""
+        executor = self._require_built()
+        start = self.clock.snapshot()
+        query_graph = self.parse_question(question)
+        answer = executor.execute(query_graph)
+        answer.latency = start.interval
+        return answer
+
+    def answer_query_graph(self, query_graph: QueryGraph) -> Answer:
+        """Execute an already-parsed query graph."""
+        executor = self._require_built()
+        start = self.clock.snapshot()
+        answer = executor.execute(query_graph)
+        answer.latency = start.interval
+        return answer
+
+    def answer_many(self, questions: list[str]) -> list[Answer]:
+        """Answer a batch with the §V-B multi-query optimizations.
+
+        Query graphs are generated for all questions, scheduled by
+        frequency ratio (when enabled), executed in that order against
+        the shared key-centric cache, and returned in input order.
+        """
+        executor = self._require_built()
+        graphs: list[QueryGraph | None] = []
+        for question in questions:
+            try:
+                graphs.append(self.parse_question(question))
+            except QueryError:
+                graphs.append(None)
+
+        order = list(range(len(questions)))
+        if self.config.enable_scheduler:
+            valid = [i for i, g in enumerate(graphs) if g is not None]
+            plan = schedule_queries([graphs[i] for i in valid])
+            order = [valid[i] for i in plan.order] + \
+                [i for i, g in enumerate(graphs) if g is None]
+
+        answers: list[Answer | None] = [None] * len(questions)
+        for index in order:
+            graph = graphs[index]
+            if graph is None:
+                answers[index] = Answer(QuestionType.REASONING, "unknown")
+                continue
+            start = self.clock.snapshot()
+            answer = executor.execute(graph)
+            answer.latency = start.interval
+            answers[index] = answer
+        return [a for a in answers if a is not None]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def cache_report(self) -> CacheReport:
+        """Scope/path hit statistics accumulated so far."""
+        return CacheReport.from_cache(self._cache)
+
+    @property
+    def elapsed(self) -> float:
+        """Total simulated seconds spent so far."""
+        return self.clock.elapsed
+
+
+def estimate_parallel_latency(latencies: list[float], workers: int) -> float:
+    """Wall-clock estimate when queries run on ``workers`` parallel lanes.
+
+    Greedy longest-first bin packing: the makespan of the fullest lane.
+    This is the §V "parallelize our algorithm" model — queries are
+    independent once the merged graph is built.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    lanes = [0.0] * workers
+    for latency in sorted(latencies, reverse=True):
+        lanes[lanes.index(min(lanes))] += latency
+    return max(lanes) if lanes else 0.0

@@ -1,0 +1,124 @@
+"""Query-graph generation: Algorithm 2 of the paper.
+
+``generate_query_graph`` runs the full pipeline:
+
+* **Initial stage** — POS-tag and dependency-parse the question (the
+  Stanford tagger/parser substitutes live in :mod:`repro.nlp`);
+* **Parse stage** — segment clauses, extract a SPOC per clause;
+* **Connect stage** — compare the SPOCs' subject/object terms and wire
+  S2S / S2O / O2S / O2O dependency edges (§IV-C).  Edges run from
+  *provider* clauses (deeper conditions, executed first) to *consumer*
+  clauses, so the main clause is the sink and start vertices are the
+  in-degree-0 conditions, matching Algorithm 3's traversal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError, QueryParseError
+from repro.nlp.depparse import DependencyTree, parse
+from repro.nlp.semlex import are_synonyms
+from repro.simtime import SimClock
+from repro.core.clauses import segment_clauses
+from repro.core.spoc import DependencyKind, QueryGraph, SPOC, Term
+from repro.core.spoc_extract import extract_spoc, validate_spoc
+
+
+def generate_query_graph(
+    question: str, clock: SimClock | None = None
+) -> QueryGraph:
+    """Decompose a complex question into an ordered query graph.
+
+    Raises :class:`~repro.errors.QueryParseError` when the question is
+    outside the grammar (e.g. contains an unknown foreign word — the
+    Fig. 8(a) failure mode).
+    """
+    if clock is not None:
+        clock.charge("pos_tag")
+        clock.charge("dep_parse")
+    try:
+        tree = parse(question)
+    except ParseError as exc:
+        raise QueryParseError(f"cannot parse question: {exc}") from exc
+    return query_graph_from_tree(tree, question, clock)
+
+
+def query_graph_from_tree(
+    tree: DependencyTree, question: str = "",
+    clock: SimClock | None = None,
+) -> QueryGraph:
+    """Algorithm 2's Parse + Connect stages on an existing parse tree."""
+    if clock is not None:
+        clock.charge("clause_segment")
+    clauses = segment_clauses(tree)
+    spocs: list[SPOC] = []
+    for index, clause in enumerate(clauses):
+        if clock is not None:
+            clock.charge("spoc_extract")
+        spoc = extract_spoc(tree, clause, index)
+        validate_spoc(spoc)
+        spocs.append(spoc)
+
+    edges = _connect(spocs)
+    return QueryGraph(vertices=spocs, edges=edges, question=question)
+
+
+def _connect(spocs: list[SPOC]) -> list[tuple[int, int, DependencyKind]]:
+    """The Connect stage: SO-overlap comparison between all vertex pairs.
+
+    For every (provider, consumer) pair where the provider is deeper,
+    the first matching slot combination becomes the edge.
+    """
+    edges: list[tuple[int, int, DependencyKind]] = []
+    consumers_bound: set[tuple[int, str]] = set()
+    # deeper clauses provide to shallower ones; resolve ties by clause
+    # order (later clauses provide to earlier ones)
+    ordered = sorted(range(len(spocs)), key=lambda i: -spocs[i].depth)
+    for provider_index in ordered:
+        provider = spocs[provider_index]
+        best: tuple[int, DependencyKind] | None = None
+        for consumer_index, consumer in enumerate(spocs):
+            if consumer_index == provider_index:
+                continue
+            if consumer.depth >= provider.depth:
+                continue
+            for consumer_slot in ("subject", "object"):
+                if (consumer_index, consumer_slot) in consumers_bound:
+                    continue
+                for provider_slot in ("subject", "object"):
+                    if _terms_overlap(consumer.slot(consumer_slot),
+                                      provider.slot(provider_slot)):
+                        kind = DependencyKind(
+                            f"{consumer_slot[0].upper()}2"
+                            f"{provider_slot[0].upper()}"
+                        )
+                        best = (consumer_index, kind)
+                        break
+                if best:
+                    break
+            if best:
+                break
+        if best is not None:
+            consumer_index, kind = best
+            edges.append((provider_index, consumer_index, kind))
+            consumers_bound.add((consumer_index, kind.consumer_slot))
+    return edges
+
+
+def _terms_overlap(consumer: Term | None, provider: Term | None) -> bool:
+    """The SOOverlap check of Algorithm 2: same-semantics term heads."""
+    if consumer is None or provider is None:
+        return False
+    if consumer.head.lower() == provider.head.lower():
+        return True
+    return are_synonyms(consumer.head, provider.head)
+
+
+def describe_query_graph(graph: QueryGraph) -> str:
+    """Human-readable rendering of a query graph (examples, debugging)."""
+    lines = [f"Q: {graph.question}"] if graph.question else []
+    for i, spoc in enumerate(graph.vertices):
+        marker = "*" if spoc.is_main else " "
+        lines.append(f"{marker}v{i}: {spoc!r}")
+    for src, dst, kind in graph.edges:
+        lines.append(f" v{src} --{kind.value}--> v{dst}")
+    return "\n".join(lines)

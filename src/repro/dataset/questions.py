@@ -1,0 +1,463 @@
+"""Complex-question templates and their oracle answers (§VI-B).
+
+Questions are generated against the ground-truth index (the annotator
+stand-in), so every question ships with a verified answer and its
+supporting evidence.  The generator enforces the paper's dataset
+properties:
+
+* **multi-clause** — every question has 2 or 3 clauses;
+* **cross-image** — questions answerable from a single image are
+  filtered out (the condition and main evidence never share an image);
+* **external knowledge** — many questions use hypernym words ("pets",
+  "animals", "clothes") that only resolve through the knowledge graph;
+* **three types** — judgment / counting / reasoning, with the
+  clause-count mix chosen to land on Table II's composition
+  (94 / 35 / 90 clauses for 40 / 16 / 44 questions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spoc import QuestionType
+from repro.nlp.morphology import noun_plural, past_participle, verb_lemma
+from repro.dataset.groundtruth import (
+    GroundTruthIndex,
+    GTTriple,
+    categories_for_word,
+)
+
+#: hypernym words usable as answer types ("what kind of X")
+SUPER_WORDS = ("animal", "pet", "clothes", "food", "toy", "vehicle")
+
+#: semantic predicates usable in a passive main clause
+PASSIVE_PREDICATES = ("carrying", "holding", "catching", "eating",
+                      "watching", "feeding", "chasing", "pulling",
+                      "wearing")
+
+#: predicates usable in relative condition clauses
+CONDITION_PREDICATES = ("standing on", "sitting on", "lying on",
+                        "walking on", "riding", "carrying", "holding",
+                        "eating", "watching", "feeding", "chasing",
+                        "playing with", "looking out of", "parked on",
+                        "wearing", "pulling", "catching")
+
+#: spatial predicates usable with "appear" main clauses
+APPEAR_PREPOSITIONS = ("near", "in front of", "behind", "next to")
+
+
+@dataclass
+class MVQAQuestion:
+    """One question–answer pair of the dataset."""
+
+    text: str
+    question_type: QuestionType
+    answer: str
+    clause_count: int
+    has_constraint: bool
+    spo_triples: tuple[tuple[str, str, str], ...]
+    support_images: tuple[int, ...]
+    inspect_images: int  # images an annotator must consider (Table II)
+    exotic: bool = False  # uses a rare word ("canis") — the Fig. 8a case
+
+
+@dataclass
+class QuestionGenerator:
+    """Template-driven generator over a ground-truth index."""
+
+    gt: GroundTruthIndex
+    rng: np.random.Generator
+    seen_texts: set[str] = field(default_factory=set)
+    #: answer-robustness filters (MVQA annotators prefer clear-cut
+    #: questions; the modified-VQAv2 builder relaxes these)
+    reasoning_margin: float = 1.3
+    reasoning_support: int = 3
+    judgment_min_yes_images: int = 2
+    judgment_max_cooccur: int = 15
+    _combo_cache: dict[tuple[str, ...] | None, list] = \
+        field(default_factory=dict)
+    _counted_used: set[tuple[str, str | None]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # surface realization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plural(word: str) -> str:
+        return noun_plural(word)
+
+    @staticmethod
+    def _passive(predicate: str) -> str:
+        """"carrying" -> "carried by"; "wearing" -> "worn by"."""
+        words = predicate.split()
+        participle = past_participle(verb_lemma(words[0]))
+        tail = " ".join(words[1:])
+        return f"{participle} {tail} by".replace("  ", " ").strip()
+
+    @staticmethod
+    def _relative(predicate: str, obj: str, plural_head: bool,
+                  constraint: str | None = None) -> str:
+        be = "are" if plural_head else "is"
+        adverb = f" {constraint}" if constraint else ""
+        return f"that {be}{adverb} {predicate} the {obj}"
+
+    # ------------------------------------------------------------------
+    # reasoning questions
+    # ------------------------------------------------------------------
+    def reasoning(self, clauses: int = 2,
+                  constraint: bool = False) -> MVQAQuestion | None:
+        """"What kind of SUPER are P1-passive by the B that are P2 the C?"
+        """
+        combos = self._condition_combos()
+        self.rng.shuffle(combos)
+        con = "most frequently" if constraint else None
+        for b_word, p2, c_word in combos:
+            condition = self.gt.find(
+                categories_for_word(b_word), p2, categories_for_word(c_word)
+            )
+            labels = self.gt.condition_labels(b_word, p2, c_word,
+                                              constraint=con)
+            if not labels:
+                continue
+            extra_text = ""
+            extra_spo: list[tuple[str, str, str]] = []
+            if clauses == 3:
+                nested = self._nested_condition(c_word)
+                if nested is None:
+                    continue
+                p3, d_word, nested_triples = nested
+                extra_text = " " + self._relative(p3, d_word, False)
+                extra_spo = [(c_word, p3, d_word)]
+                condition = condition + nested_triples
+            for super_word in _shuffled(self.rng, SUPER_WORDS):
+                if super_word == b_word:
+                    continue  # "what kind of pets ... by the pets" reads badly
+                for p1 in _shuffled(self.rng, PASSIVE_PREDICATES):
+                    answer, main = self.gt.reasoning_answer(
+                        labels, p1, super_word,
+                        min_margin=self.reasoning_margin,
+                        min_support=self.reasoning_support,
+                    )
+                    if answer is None:
+                        continue
+                    if not self.gt.requires_multiple_images(condition, main):
+                        continue
+                    b_plural = self._plural(b_word)
+                    text = (
+                        f"What kind of {self._plural(super_word)} are "
+                        f"{self._passive(p1)} the {b_plural} "
+                        f"{self._relative(p2, c_word, True, con)}"
+                        f"{extra_text}?"
+                    )
+                    question = self._finish(
+                        text, QuestionType.REASONING, answer,
+                        clauses, constraint,
+                        [(b_word, p1, super_word), (b_word, p2, c_word)]
+                        + extra_spo,
+                        condition + main,
+                        {super_word, b_word, c_word},
+                    )
+                    if question is not None:
+                        return question
+        return None
+
+    # ------------------------------------------------------------------
+    # counting questions
+    # ------------------------------------------------------------------
+    def counting(self, clauses: int = 2,
+                 constraint: bool = False,
+                 max_count: int = 12,
+                 relaxed: bool = False) -> MVQAQuestion | None:
+        """Counting questions, two sub-forms.
+
+        The majority form counts *kinds* ("How many kinds of animals
+        are eating the grass that ...?"); the minority form counts
+        instances and is only emitted when the ground-truth count is
+        small enough to survive detector noise.  ``relaxed`` drops the
+        support-ambiguity rejection — the last resort when a small
+        image pool cannot fill the counting quota otherwise.
+        """
+        question = self._counting_with_mode(clauses, constraint, True,
+                                            max_count, relaxed)
+        if question is None:
+            # instance counting only exists at small pool scales, where
+            # ground-truth counts stay small (see DESIGN.md)
+            question = self._counting_with_mode(clauses, constraint,
+                                                False, max_count, relaxed)
+        return question
+
+    def _counting_with_mode(
+        self, clauses: int, constraint: bool, kinds_mode: bool,
+        max_count: int, relaxed: bool = False,
+    ) -> MVQAQuestion | None:
+        combos = self._condition_combos()
+        self.rng.shuffle(combos)
+        con = "most frequently" if constraint else None
+        counted_words = list(SUPER_WORDS) + ["person"] if kinds_mode \
+            else sorted(self.gt.category_images)
+        self.rng.shuffle(counted_words)
+        # spatial predicates are excluded here: "near"-style edges are
+        # the most hallucination-prone, which makes kind counts flappy
+        predicates = list(CONDITION_PREDICATES)
+        for b_word, p2, c_word in combos:
+            labels = self.gt.condition_labels(b_word, p2, c_word,
+                                              constraint=con)
+            if not labels:
+                continue
+            condition = self.gt.find(
+                categories_for_word(b_word), p2, categories_for_word(c_word)
+            )
+            extra_text = ""
+            extra_spo: list[tuple[str, str, str]] = []
+            if clauses == 3:
+                nested = self._nested_condition(c_word)
+                if nested is None:
+                    continue
+                p3, d_word, nested_triples = nested
+                extra_text = " " + self._relative(p3, d_word, False)
+                extra_spo = [(c_word, p3, d_word)]
+                condition = condition + nested_triples
+            for a_word in counted_words:
+                if not kinds_mode and (a_word, None) in self._counted_used:
+                    continue
+                for p1 in _shuffled(self.rng, predicates):
+                    if not kinds_mode and (a_word, p1) in self._counted_used:
+                        continue
+                    if kinds_mode:
+                        if relaxed:
+                            count, main = self.gt.counting_kinds_answer(
+                                a_word, p1, labels,
+                                min_images=3, ambiguous_band=(1, 0),
+                            )
+                        else:
+                            count, main = self.gt.counting_kinds_answer(
+                                a_word, p1, labels
+                            )
+                        if not 2 <= count <= max_count:
+                            continue
+                    else:
+                        count, main = self.gt.counting_answer(a_word, p1,
+                                                              labels)
+                        if not 1 <= count <= 6:
+                            continue
+                    if not self.gt.requires_multiple_images(condition, main):
+                        continue
+                    counted = (f"kinds of {self._plural(a_word)}"
+                               if kinds_mode else self._plural(a_word))
+                    text = (
+                        f"How many {counted} are {p1} the "
+                        f"{b_word} {self._relative(p2, c_word, False, con)}"
+                        f"{extra_text}?"
+                    )
+                    question = self._finish(
+                        text, QuestionType.COUNTING, str(count),
+                        clauses, constraint,
+                        [(a_word, p1, b_word), (b_word, p2, c_word)]
+                        + extra_spo,
+                        condition + main,
+                        {a_word, b_word, c_word},
+                    )
+                    if question is not None:
+                        if not kinds_mode:
+                            self._counted_used.add((a_word, p1))
+                            self._counted_used.add((a_word, None))
+                        return question
+        return None
+
+    # ------------------------------------------------------------------
+    # judgment questions
+    # ------------------------------------------------------------------
+    def judgment(self, clauses: int = 2, constraint: bool = False,
+                 want_yes: bool = True) -> MVQAQuestion | None:
+        """"Does the A that is P1 the B appear PREP the C?"."""
+        combos = self._condition_combos()
+        self.rng.shuffle(combos)
+        con = "most frequently" if constraint else None
+        for a_word, p1, b_word in combos:
+            labels = self.gt.condition_labels(a_word, p1, b_word,
+                                              constraint=con)
+            if not labels:
+                continue
+            condition = self.gt.find(
+                categories_for_word(a_word), p1, categories_for_word(b_word)
+            )
+            for prep in _shuffled(self.rng, APPEAR_PREPOSITIONS):
+                for c_word in self._object_words():
+                    is_yes, main = self.gt.judgment_answer(labels, prep,
+                                                           c_word)
+                    if is_yes != want_yes:
+                        continue
+                    if is_yes:
+                        if len({t.image_id for t in main}) < \
+                                self.judgment_min_yes_images:
+                            continue  # flimsy yes — one missed edge flips it
+                        if not self.gt.requires_multiple_images(condition,
+                                                                main):
+                            continue
+                    else:
+                        # a usable no: the subjects and the object rarely
+                        # co-occur, so hallucinated edges are unlikely
+                        # (but, as in the paper, not impossible)
+                        cooccur = self.gt.cooccurrence_images(labels, c_word)
+                        if len(cooccur) > self.judgment_max_cooccur:
+                            continue
+                    extra_text = ""
+                    extra_spo: list[tuple[str, str, str]] = []
+                    if clauses == 3:
+                        nested = self._nested_condition(c_word)
+                        if nested is None:
+                            continue
+                        p3, d_word, _ = nested
+                        extra_text = " " + self._relative(p3, d_word, False)
+                        extra_spo = [(c_word, p3, d_word)]
+                    text = (
+                        f"Does the {a_word} "
+                        f"{self._relative(p1, b_word, False, con)} "
+                        f"appear {prep} the {c_word}{extra_text}?"
+                    )
+                    question = self._finish(
+                        text, QuestionType.JUDGMENT,
+                        "yes" if is_yes else "no",
+                        clauses, constraint,
+                        [(a_word, prep, c_word), (a_word, p1, b_word)]
+                        + extra_spo,
+                        condition + main,
+                        {a_word, b_word, c_word},
+                    )
+                    if question is not None:
+                        return question
+        return None
+
+    def judgment_identity(self, constraint: bool = False,
+                          want_yes: bool = True) -> MVQAQuestion | None:
+        """"Is the SUPER that is P1 the B a C?" (2 clauses)."""
+        combos = self._condition_combos(subjects=SUPER_WORDS)
+        self.rng.shuffle(combos)
+        con = "most frequently" if constraint else None
+        for super_word, p1, b_word in combos:
+            labels = self.gt.condition_labels(super_word, p1, b_word,
+                                              constraint=con)
+            if not labels:
+                continue
+            condition = self.gt.find(
+                categories_for_word(super_word), p1,
+                categories_for_word(b_word)
+            )
+            categories = sorted(categories_for_word(super_word))
+            self.rng.shuffle(categories)
+            for c_word in categories:
+                is_yes = c_word in labels
+                if is_yes != want_yes:
+                    continue
+                text = (
+                    f"Is the {super_word} "
+                    f"{self._relative(p1, b_word, False, con)} "
+                    f"a {c_word}?"
+                )
+                question = self._finish(
+                    text, QuestionType.JUDGMENT,
+                    "yes" if is_yes else "no",
+                    2, constraint,
+                    [(super_word, "be", c_word), (super_word, p1, b_word)],
+                    condition,
+                    {super_word, b_word, c_word},
+                )
+                if question is not None:
+                    return question
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _condition_combos(
+        self, subjects: tuple[str, ...] | None = None
+    ) -> list[tuple[str, str, str]]:
+        """Candidate (subject-word, predicate, object-word) conditions
+        with ground-truth support."""
+        cache_key = subjects
+        if cache_key in self._combo_cache:
+            return list(self._combo_cache[cache_key])
+        combos: set[tuple[str, str, str]] = set()
+        for predicate in CONDITION_PREDICATES:
+            for triple in self.gt.by_predicate.get(predicate, ()):
+                combos.add((triple.src_category, predicate,
+                            triple.dst_category))
+                for super_word in SUPER_WORDS + ("person",):
+                    if triple.src_category in categories_for_word(super_word):
+                        combos.add((super_word, predicate,
+                                    triple.dst_category))
+        result = sorted(combos)
+        if subjects is not None:
+            result = [c for c in result if c[0] in subjects]
+        self._combo_cache[cache_key] = result
+        return list(result)
+
+    def _nested_condition(
+        self, c_word: str
+    ) -> tuple[str, str, list[GTTriple]] | None:
+        """A further condition on ``c_word`` for 3-clause questions."""
+        c_categories = categories_for_word(c_word)
+        candidates = []
+        for predicate in APPEAR_PREPOSITIONS + ("on",):
+            for triple in self.gt.by_predicate.get(predicate, ()):
+                if triple.src_category in c_categories:
+                    candidates.append((predicate, triple.dst_category))
+        if not candidates:
+            return None
+        self.rng.shuffle(candidates)
+        predicate, d_word = candidates[0]
+        triples = self.gt.find(c_categories, predicate,
+                               categories_for_word(d_word))
+        return predicate, d_word, triples
+
+    def _object_words(self) -> list[str]:
+        words = [c for c, images in self.gt.category_images.items()
+                 if len(images) >= 3]
+        self.rng.shuffle(words)
+        return words
+
+    def _finish(
+        self,
+        text: str,
+        question_type: QuestionType,
+        answer: str,
+        clauses: int,
+        has_constraint: bool,
+        spo: list[tuple[str, str, str]],
+        support: list[GTTriple],
+        words: set[str],
+    ) -> MVQAQuestion | None:
+        if text in self.seen_texts:
+            return None
+        if not self._parses(text):
+            return None
+        self.seen_texts.add(text)
+        return MVQAQuestion(
+            text=text,
+            question_type=question_type,
+            answer=answer,
+            clause_count=clauses,
+            has_constraint=has_constraint,
+            spo_triples=tuple(spo),
+            support_images=tuple(sorted({t.image_id for t in support})),
+            inspect_images=len(self.gt.images_mentioning(words)),
+        )
+
+    @staticmethod
+    def _parses(text: str) -> bool:
+        """Questions must be inside the parser's grammar."""
+        from repro.core.query_graph import generate_query_graph
+        from repro.errors import QueryError
+
+        try:
+            generate_query_graph(text)
+        except QueryError:
+            return False
+        return True
+
+
+def _shuffled(rng: np.random.Generator, items) -> list:
+    result = list(items)
+    rng.shuffle(result)
+    return result

@@ -1,0 +1,104 @@
+"""Modified VQAv2 (§VII, Experimental Setting).
+
+The paper adapts VQAv2 so baselines can be compared on cross-image
+queries: (1) count questions are applied over multiple images and ask
+for the accumulated result; (2) two related simple questions are
+combined into one complex question.  The result is "much simpler than
+MVQA but still requires reasoning over multiple images".
+
+This builder reproduces that modification over a synthetic pool:
+smaller scenes, two-clause questions only, and — unlike MVQA — no
+strict multi-image filter (combined questions may share an evidence
+image), which is what keeps the dataset easier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.spoc import QuestionType
+from repro.dataset.groundtruth import GroundTruthIndex
+from repro.dataset.kg import build_commonsense_kg
+from repro.dataset.mvqa import MVQADataset
+from repro.dataset.questions import MVQAQuestion, QuestionGenerator
+from repro.errors import DatasetError
+from repro.synth.generator import SceneGenerator
+
+DEFAULT_IMAGES = 800
+DEFAULT_COMPOSITION = {
+    QuestionType.JUDGMENT: 40,
+    QuestionType.COUNTING: 30,
+    QuestionType.REASONING: 40,
+}
+
+
+def build_modified_vqa2(
+    seed: int = 77,
+    image_count: int = DEFAULT_IMAGES,
+    composition: dict[QuestionType, int] | None = None,
+) -> MVQADataset:
+    """Build the modified-VQAv2 analogue.
+
+    Unlike MVQA's hand-picked clear-cut questions, the mechanically
+    combined VQAv2 questions carry no answer-robustness filtering —
+    borderline modes and flimsy yes/no evidence are allowed, which is
+    why every system (including SVQA) leaves accuracy on the table
+    here (Table IV).
+    """
+    composition = composition or dict(DEFAULT_COMPOSITION)
+    scenes = SceneGenerator(seed=seed).generate_pool(image_count)
+    gt = _LenientIndex(scenes)
+    rng = np.random.default_rng(seed + 1)
+    generator = QuestionGenerator(
+        gt, rng,
+        reasoning_margin=1.0,
+        reasoning_support=1,
+        judgment_min_yes_images=2,
+        judgment_max_cooccur=60,
+    )
+
+    questions: list[MVQAQuestion] = []
+    yes_toggle = True
+    for qtype, count in composition.items():
+        for _ in range(count):
+            question = _generate(generator, qtype, yes_toggle)
+            if qtype is QuestionType.JUDGMENT:
+                yes_toggle = not yes_toggle
+            if question is None:
+                raise DatasetError(
+                    f"could not generate a {qtype.value} question for "
+                    "modified VQAv2"
+                )
+            questions.append(question)
+    return MVQADataset(scenes=scenes, questions=questions,
+                       kg=build_commonsense_kg(), pool_size=image_count)
+
+
+def _generate(generator: QuestionGenerator, qtype: QuestionType,
+              want_yes: bool) -> MVQAQuestion | None:
+    if qtype is QuestionType.REASONING:
+        return generator.reasoning(clauses=2)
+    if qtype is QuestionType.COUNTING:
+        return generator.counting(clauses=2)
+    if generator.rng.random() < 0.3:
+        question = generator.judgment_identity(want_yes=want_yes)
+        if question is not None:
+            return question
+    return generator.judgment(clauses=2, want_yes=want_yes)
+
+
+class _LenientIndex(GroundTruthIndex):
+    """Ground truth without MVQA's multi-image and ambiguity filters."""
+
+    def requires_multiple_images(self, condition, main) -> bool:
+        return True
+
+    def counting_kinds_answer(self, counted_word, predicate, object_labels,
+                              min_images=3, ambiguous_band=(2, 2)):
+        # runtime threshold; only the sharpest boundary cases rejected
+        return super().counting_kinds_answer(
+            counted_word, predicate, object_labels,
+            min_images=min_images, ambiguous_band=ambiguous_band,
+        )

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Sub-hierarchies
+mirror the subsystems: graph substrate, vision substrate, NLP substrate,
+and the SVQA core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-substrate errors."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex id was not present in the graph."""
+
+    def __init__(self, vertex_id: object) -> None:
+        super().__init__(f"vertex not found: {vertex_id!r}")
+        self.vertex_id = vertex_id
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge id was not present in the graph."""
+
+    def __init__(self, edge_id: object) -> None:
+        super().__init__(f"edge not found: {edge_id!r}")
+        self.edge_id = edge_id
+
+
+class DuplicateVertexError(GraphError, ValueError):
+    """A vertex id was added twice."""
+
+    def __init__(self, vertex_id: object) -> None:
+        super().__init__(f"duplicate vertex id: {vertex_id!r}")
+        self.vertex_id = vertex_id
+
+
+class StoreError(GraphError):
+    """Persistence failed (corrupt file, bad version, ...)."""
+
+
+class VisionError(ReproError):
+    """Base class for vision-substrate errors."""
+
+
+class SceneError(VisionError, ValueError):
+    """A synthetic scene specification is invalid."""
+
+
+class NLPError(ReproError):
+    """Base class for NLP-substrate errors."""
+
+
+class TokenizationError(NLPError, ValueError):
+    """Input text could not be tokenized."""
+
+
+class ParseError(NLPError):
+    """Dependency parsing failed to produce a tree."""
+
+
+class QueryError(ReproError):
+    """Base class for SVQA-core query errors."""
+
+
+class QueryParseError(QueryError):
+    """A complex question could not be decomposed into a query graph."""
+
+
+class ExecutionError(QueryError):
+    """Query-graph execution over the merged graph failed."""
+
+
+class DatasetError(ReproError):
+    """Dataset construction or loading failed."""

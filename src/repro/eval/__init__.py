@@ -1,0 +1,21 @@
+"""Evaluation: answer scoring and the experiment harness."""
+
+from repro.eval.accuracy import AccuracyReport, SEMANTIC_THRESHOLD, answers_match
+from repro.eval.harness import (
+    EvaluationResult,
+    breakdown_by_type,
+    evaluate,
+    format_table,
+    percentage,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "EvaluationResult",
+    "SEMANTIC_THRESHOLD",
+    "answers_match",
+    "breakdown_by_type",
+    "evaluate",
+    "format_table",
+    "percentage",
+]

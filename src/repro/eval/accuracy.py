@@ -1,0 +1,75 @@
+"""Answer scoring (§VII, Experimental Setting).
+
+Judgment answers need an exact yes/no; counting answers need the exact
+number; reasoning answers are scored by *semantic consistency* —
+cosine similarity between the produced and reference labels, so "dog"
+vs "puppy" counts as correct, exactly as the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.embeddings import cosine
+from repro.nlp.morphology import noun_singular
+from repro.nlp.semlex import are_synonyms
+from repro.core.spoc import QuestionType
+
+#: cosine threshold above which two reasoning answers are "consistent"
+SEMANTIC_THRESHOLD = 0.6
+
+
+def answers_match(
+    produced: str, reference: str, question_type: QuestionType
+) -> bool:
+    """Whether a produced answer counts as correct."""
+    produced_norm = produced.strip().lower()
+    reference_norm = reference.strip().lower()
+    if question_type in (QuestionType.JUDGMENT, QuestionType.COUNTING):
+        return produced_norm == reference_norm
+    # reasoning: exact, number-normalized, synonym, or embedding match
+    if produced_norm == reference_norm:
+        return True
+    if noun_singular(produced_norm) == noun_singular(reference_norm):
+        return True
+    if are_synonyms(produced_norm, reference_norm):
+        return True
+    if produced_norm in {"", "unknown"}:
+        return False
+    return cosine(produced_norm, reference_norm) >= SEMANTIC_THRESHOLD
+
+
+@dataclass
+class AccuracyReport:
+    """Per-type and overall accuracy over a question set."""
+
+    correct: dict[QuestionType, int] = field(default_factory=dict)
+    total: dict[QuestionType, int] = field(default_factory=dict)
+
+    def record(self, question_type: QuestionType, is_correct: bool) -> None:
+        self.total[question_type] = self.total.get(question_type, 0) + 1
+        if is_correct:
+            self.correct[question_type] = \
+                self.correct.get(question_type, 0) + 1
+
+    def accuracy(self, question_type: QuestionType) -> float:
+        total = self.total.get(question_type, 0)
+        if total == 0:
+            return 0.0
+        return self.correct.get(question_type, 0) / total
+
+    @property
+    def overall(self) -> float:
+        total = sum(self.total.values())
+        if total == 0:
+            return 0.0
+        return sum(self.correct.values()) / total
+
+    def as_row(self) -> dict[str, float]:
+        """The Table III row shape."""
+        return {
+            "judgment": self.accuracy(QuestionType.JUDGMENT),
+            "counting": self.accuracy(QuestionType.COUNTING),
+            "reasoning": self.accuracy(QuestionType.REASONING),
+            "overall": self.overall,
+        }

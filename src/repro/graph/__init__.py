@@ -1,0 +1,52 @@
+"""Graph database substrate: directed labeled multigraphs with indexes,
+traversal, induced subgraph views, persistence, and pattern matching.
+"""
+
+from repro.graph.model import Edge, Graph, Vertex
+from repro.graph.query import (
+    RelationPair,
+    relations_between,
+    relations_from,
+    relations_to,
+    vertices_with_label,
+)
+from repro.graph.store import GraphStats, graph_stats, load_graph, save_graph
+from repro.graph.subgraph import (
+    SubgraphView,
+    induced_subgraph_view,
+    k_hop_subgraph,
+    materialize,
+)
+from repro.graph.traverse import (
+    bfs_order,
+    connected_components,
+    dfs_order,
+    hop_distances,
+    iter_paths,
+    k_hop_neighborhood,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphStats",
+    "RelationPair",
+    "SubgraphView",
+    "Vertex",
+    "bfs_order",
+    "connected_components",
+    "dfs_order",
+    "graph_stats",
+    "hop_distances",
+    "induced_subgraph_view",
+    "iter_paths",
+    "k_hop_neighborhood",
+    "k_hop_subgraph",
+    "load_graph",
+    "materialize",
+    "relations_between",
+    "relations_from",
+    "relations_to",
+    "save_graph",
+    "vertices_with_label",
+]

@@ -1,0 +1,261 @@
+"""Directed labeled multigraph — the storage model used everywhere.
+
+The paper defines ``G = (V, E, L)``: a directed graph whose vertices and
+edges both carry labels (§II).  Scene graphs, the external knowledge
+graph, the merged graph ``G_mg``, and the query graph ``G_q`` are all
+instances of this model, so we implement it once with:
+
+* stable integer vertex/edge ids,
+* O(1) vertex lookup and adjacency access,
+* a label index maintained incrementally (see :mod:`repro.graph.index`),
+* arbitrary per-vertex / per-edge properties (bounding boxes, image ids,
+  SPOC payloads, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import DuplicateVertexError, EdgeNotFoundError, VertexNotFoundError
+from repro.graph.index import LabelIndex
+
+
+@dataclass
+class Vertex:
+    """A labeled vertex with arbitrary properties.
+
+    Attributes
+    ----------
+    id:
+        Integer id, unique within its graph.
+    label:
+        The vertex label ``L(v)`` — for scene graphs the object class,
+        for knowledge graphs the entity name.
+    props:
+        Free-form properties (e.g. ``image_id``, ``bbox``, ``source``).
+    """
+
+    id: int
+    label: str
+    props: dict[str, Any] = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+
+@dataclass
+class Edge:
+    """A labeled directed edge ``src --label--> dst``."""
+
+    id: int
+    src: int
+    dst: int
+    label: str
+    props: dict[str, Any] = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+
+class Graph:
+    """A directed labeled multigraph with incremental indexes.
+
+    Vertices and edges are identified by dense integer ids assigned at
+    insertion.  Multiple edges between the same vertex pair are allowed
+    (a scene may assert both ``dog near man`` and ``dog in front of
+    man``).
+
+    Example
+    -------
+    >>> g = Graph(name="demo")
+    >>> a = g.add_vertex("dog")
+    >>> b = g.add_vertex("man")
+    >>> e = g.add_edge(a.id, b.id, "in front of")
+    >>> [v.label for v in g.successors(a.id)]
+    ['man']
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._vertices: dict[int, Vertex] = {}
+        self._edges: dict[int, Edge] = {}
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+        self._next_vertex_id = 0
+        self._next_edge_id = 0
+        self.vertex_labels = LabelIndex()
+        self.edge_labels = LabelIndex()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self,
+        label: str,
+        props: dict[str, Any] | None = None,
+        vertex_id: int | None = None,
+    ) -> Vertex:
+        """Add a vertex; returns the new :class:`Vertex`.
+
+        ``vertex_id`` may be supplied when loading from a store; it must
+        not collide with an existing id.
+        """
+        if vertex_id is None:
+            vertex_id = self._next_vertex_id
+        if vertex_id in self._vertices:
+            raise DuplicateVertexError(vertex_id)
+        self._next_vertex_id = max(self._next_vertex_id, vertex_id + 1)
+        vertex = Vertex(vertex_id, label, dict(props or {}))
+        self._vertices[vertex_id] = vertex
+        self._out[vertex_id] = []
+        self._in[vertex_id] = []
+        self.vertex_labels.add(label, vertex_id)
+        return vertex
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: str,
+        props: dict[str, Any] | None = None,
+    ) -> Edge:
+        """Add a directed edge from ``src`` to ``dst``."""
+        if src not in self._vertices:
+            raise VertexNotFoundError(src)
+        if dst not in self._vertices:
+            raise VertexNotFoundError(dst)
+        edge = Edge(self._next_edge_id, src, dst, label, dict(props or {}))
+        self._next_edge_id += 1
+        self._edges[edge.id] = edge
+        self._out[src].append(edge.id)
+        self._in[dst].append(edge.id)
+        self.edge_labels.add(label, edge.id)
+        return edge
+
+    def remove_edge(self, edge_id: int) -> None:
+        """Remove an edge by id."""
+        edge = self._edges.pop(edge_id, None)
+        if edge is None:
+            raise EdgeNotFoundError(edge_id)
+        self._out[edge.src].remove(edge_id)
+        self._in[edge.dst].remove(edge_id)
+        self.edge_labels.remove(edge.label, edge_id)
+
+    def remove_vertex(self, vertex_id: int) -> None:
+        """Remove a vertex and every edge incident to it."""
+        vertex = self._vertices.pop(vertex_id, None)
+        if vertex is None:
+            raise VertexNotFoundError(vertex_id)
+        for edge_id in list(self._out[vertex_id]) + list(self._in[vertex_id]):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._out[vertex_id]
+        del self._in[vertex_id]
+        self.vertex_labels.remove(vertex.label, vertex_id)
+
+    def relabel_vertex(self, vertex_id: int, label: str) -> None:
+        """Change a vertex label, keeping the label index consistent."""
+        vertex = self.vertex(vertex_id)
+        self.vertex_labels.remove(vertex.label, vertex_id)
+        vertex.label = label
+        self.vertex_labels.add(label, vertex_id)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def vertex(self, vertex_id: int) -> Vertex:
+        """Return the vertex with the given id."""
+        try:
+            return self._vertices[vertex_id]
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def edge(self, edge_id: int) -> Edge:
+        """Return the edge with the given id."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise EdgeNotFoundError(edge_id) from None
+
+    def has_vertex(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertices
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._vertices.values())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        return iter(self._edges.values())
+
+    def vertex_ids(self) -> Iterable[int]:
+        return self._vertices.keys()
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def out_edges(self, vertex_id: int) -> list[Edge]:
+        """Edges leaving ``vertex_id``."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return [self._edges[e] for e in self._out[vertex_id]]
+
+    def in_edges(self, vertex_id: int) -> list[Edge]:
+        """Edges entering ``vertex_id``."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return [self._edges[e] for e in self._in[vertex_id]]
+
+    def out_degree(self, vertex_id: int) -> int:
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return len(self._out[vertex_id])
+
+    def in_degree(self, vertex_id: int) -> int:
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return len(self._in[vertex_id])
+
+    def successors(self, vertex_id: int) -> list[Vertex]:
+        """Vertices reachable by one outgoing edge."""
+        return [self._vertices[e.dst] for e in self.out_edges(vertex_id)]
+
+    def predecessors(self, vertex_id: int) -> list[Vertex]:
+        """Vertices with an edge into ``vertex_id``."""
+        return [self._vertices[e.src] for e in self.in_edges(vertex_id)]
+
+    def neighbors(self, vertex_id: int) -> list[Vertex]:
+        """Union of successors and predecessors (deduplicated, ordered)."""
+        seen: dict[int, Vertex] = {}
+        for v in self.successors(vertex_id):
+            seen.setdefault(v.id, v)
+        for v in self.predecessors(vertex_id):
+            seen.setdefault(v.id, v)
+        return list(seen.values())
+
+    def edges_between(self, src: int, dst: int) -> list[Edge]:
+        """All directed edges from ``src`` to ``dst``."""
+        return [e for e in self.out_edges(src) if e.dst == dst]
+
+    def find_vertices(self, label: str) -> list[Vertex]:
+        """All vertices carrying ``label`` (via the label index)."""
+        return [self._vertices[i] for i in self.vertex_labels.ids(label)]
+
+    def find_edges(self, label: str) -> list[Edge]:
+        """All edges carrying ``label`` (via the label index)."""
+        return [self._edges[i] for i in self.edge_labels.ids(label)]
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, vertices={self.vertex_count}, "
+            f"edges={self.edge_count})"
+        )

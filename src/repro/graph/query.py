@@ -1,0 +1,96 @@
+"""Low-level pattern-matching primitives over a graph.
+
+These are the building blocks Algorithm 3 composes: find vertices by
+(approximate) label, and retrieve the relation pairs
+``(Sub - E_so - Obj)`` connecting two vertex sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.model import Edge, Graph, Vertex
+
+
+@dataclass(frozen=True)
+class RelationPair:
+    """One ``subject --edge--> object`` match in the merged graph."""
+
+    subject: Vertex
+    edge: Edge
+    object: Vertex
+
+    @property
+    def triple(self) -> tuple[str, str, str]:
+        """The (subject-label, edge-label, object-label) triple."""
+        return (self.subject.label, self.edge.label, self.object.label)
+
+
+def vertices_with_label(graph: Graph, label: str) -> list[Vertex]:
+    """Exact-label vertex lookup (index-backed)."""
+    return graph.find_vertices(label)
+
+
+def relations_between(
+    graph: Graph,
+    subjects: list[Vertex],
+    objects: list[Vertex],
+    *,
+    include_reverse: bool = False,
+) -> list[RelationPair]:
+    """All edges from any subject to any object (``getRelations``).
+
+    Scans the out-edges of the smaller side against a membership set of
+    the other, so cost is O(min-side out-degree mass), not |S| x |O|.
+    With ``include_reverse`` edges running object -> subject are also
+    returned (reversed into subject/object order is NOT applied; the
+    pair keeps the edge's true direction via ``edge.src``).
+    """
+    object_ids = {v.id: v for v in objects}
+    subject_ids = {v.id: v for v in subjects}
+    pairs: list[RelationPair] = []
+    for subject in subjects:
+        for edge in graph.out_edges(subject.id):
+            if edge.dst in object_ids:
+                pairs.append(RelationPair(subject, edge, object_ids[edge.dst]))
+    if include_reverse:
+        for obj in objects:
+            for edge in graph.out_edges(obj.id):
+                if edge.src in subject_ids:
+                    continue  # already covered above
+                if edge.dst in subject_ids:
+                    pairs.append(RelationPair(obj, edge, subject_ids[edge.dst]))
+    return pairs
+
+
+def relations_from(graph: Graph, subjects: list[Vertex]) -> list[RelationPair]:
+    """All outgoing relation pairs of the given subjects.
+
+    Used when a SPOC has an unknown object (e.g. "What kind of clothes
+    are worn by X" — the object set is open).
+    """
+    pairs = []
+    for subject in subjects:
+        for edge in graph.out_edges(subject.id):
+            pairs.append(RelationPair(subject, edge, graph.vertex(edge.dst)))
+    return pairs
+
+
+def relations_to(graph: Graph, objects: list[Vertex]) -> list[RelationPair]:
+    """All incoming relation pairs of the given objects."""
+    pairs = []
+    for obj in objects:
+        for edge in graph.in_edges(obj.id):
+            pairs.append(RelationPair(graph.vertex(edge.src), edge, obj))
+    return pairs
+
+
+def count_edge_scans(
+    subjects: list[Vertex], graph: Graph
+) -> int:
+    """How many edges a ``relations_between`` call would scan.
+
+    Exposed so the executor can charge the simulated clock with the
+    true data-dependent cost.
+    """
+    return sum(graph.out_degree(s.id) for s in subjects)

@@ -1,0 +1,131 @@
+"""Graph persistence (JSON-lines) and summary statistics.
+
+The external knowledge graph and the merged graph can be saved to and
+loaded from disk; the on-disk format is one JSON object per line:
+
+* a header record ``{"type": "header", "version": 1, "name": ...}``,
+* one ``{"type": "vertex", ...}`` record per vertex,
+* one ``{"type": "edge", ...}`` record per edge.
+
+The format is append-friendly and diff-able, which is all this
+reproduction needs from a storage layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.graph.model import Graph
+
+FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    """Serialize ``graph`` to a JSONL file at ``path``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"type": "header", "version": FORMAT_VERSION, "name": graph.name}
+        handle.write(json.dumps(header) + "\n")
+        for vertex in graph.vertices():
+            record = {
+                "type": "vertex",
+                "id": vertex.id,
+                "label": vertex.label,
+                "props": vertex.props,
+            }
+            handle.write(json.dumps(record) + "\n")
+        for edge in graph.edges():
+            record = {
+                "type": "edge",
+                "src": edge.src,
+                "dst": edge.dst,
+                "label": edge.label,
+                "props": edge.props,
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise StoreError(f"cannot read graph file {path}: {exc}") from exc
+    if not lines:
+        raise StoreError(f"empty graph file: {path}")
+
+    header = _parse_line(lines[0], path, 1)
+    if header.get("type") != "header":
+        raise StoreError(f"{path}: first record must be a header")
+    if header.get("version") != FORMAT_VERSION:
+        raise StoreError(
+            f"{path}: unsupported format version {header.get('version')!r}"
+        )
+
+    graph = Graph(name=header.get("name", ""))
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        record = _parse_line(line, path, lineno)
+        kind = record.get("type")
+        if kind == "vertex":
+            graph.add_vertex(
+                record["label"], record.get("props"), vertex_id=record["id"]
+            )
+        elif kind == "edge":
+            graph.add_edge(
+                record["src"], record["dst"], record["label"], record.get("props")
+            )
+        else:
+            raise StoreError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return graph
+
+
+def _parse_line(line: str, path: Path, lineno: int) -> dict:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise StoreError(f"{path}:{lineno}: record must be an object")
+    return record
+
+
+@dataclass
+class GraphStats:
+    """Summary statistics for a graph."""
+
+    vertex_count: int
+    edge_count: int
+    vertex_label_count: int
+    edge_label_count: int
+    max_out_degree: int
+    max_in_degree: int
+    top_vertex_labels: list[tuple[str, int]]
+    top_edge_labels: list[tuple[str, int]]
+
+
+def graph_stats(graph: Graph, top: int = 10) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    vertex_counts = graph.vertex_labels.counts()
+    edge_counts = graph.edge_labels.counts()
+    max_out = max((graph.out_degree(v) for v in graph.vertex_ids()), default=0)
+    max_in = max((graph.in_degree(v) for v in graph.vertex_ids()), default=0)
+
+    def top_items(counts: dict[str, int]) -> list[tuple[str, int]]:
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+
+    return GraphStats(
+        vertex_count=graph.vertex_count,
+        edge_count=graph.edge_count,
+        vertex_label_count=len(vertex_counts),
+        edge_label_count=len(edge_counts),
+        max_out_degree=max_out,
+        max_in_degree=max_in,
+        top_vertex_labels=top_items(vertex_counts),
+        top_edge_labels=top_items(edge_counts),
+    )

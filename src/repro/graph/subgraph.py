@@ -1,0 +1,96 @@
+"""Induced subgraphs and the index-based subgraph view ``G[S(t, k)]``.
+
+Definition 2 of the paper: given the k-hop vertex set ``S(t, k)`` of a
+target vertex ``t``, ``G[S(t, k)]`` is the subgraph of ``G`` induced by
+those vertices.  §III-B notes that SVQA "does not store a part of G
+independently; instead, it adds an index to G to distinguish
+G[S(t, k)]" — so the primary representation here is
+:class:`SubgraphView`, a lightweight vertex-id index over the parent
+graph, with :func:`materialize` available when an independent copy is
+genuinely needed (e.g. for serialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.model import Edge, Graph, Vertex
+from repro.graph.traverse import k_hop_neighborhood
+
+
+@dataclass
+class SubgraphView:
+    """An induced-subgraph *view*: an id set indexed over a parent graph.
+
+    The view holds no copies — membership checks and iteration resolve
+    against the parent, so the view stays consistent with label updates
+    on the parent (though not with vertex removals, which callers of the
+    aggregator never perform mid-merge).
+    """
+
+    parent: Graph
+    vertex_ids: frozenset[int]
+    anchor: int | None = None
+    label_index: dict[str, list[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        index: dict[str, list[int]] = {}
+        for vertex_id in self.vertex_ids:
+            label = self.parent.vertex(vertex_id).label
+            index.setdefault(label, []).append(vertex_id)
+        self.label_index = index
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertex_ids)
+
+    def vertices(self) -> list[Vertex]:
+        """Vertices in the view (resolved live from the parent)."""
+        return [self.parent.vertex(i) for i in sorted(self.vertex_ids)]
+
+    def edges(self) -> list[Edge]:
+        """Edges of the parent with both endpoints inside the view."""
+        result = []
+        for vertex_id in sorted(self.vertex_ids):
+            for edge in self.parent.out_edges(vertex_id):
+                if edge.dst in self.vertex_ids:
+                    result.append(edge)
+        return result
+
+    def find_vertices(self, label: str) -> list[Vertex]:
+        """Vertices in the view carrying ``label`` (built-in index)."""
+        return [self.parent.vertex(i) for i in self.label_index.get(label, ())]
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self.vertex_ids
+
+
+def induced_subgraph_view(
+    graph: Graph, vertex_ids: set[int], anchor: int | None = None
+) -> SubgraphView:
+    """Build a :class:`SubgraphView` over an explicit vertex set."""
+    for vertex_id in vertex_ids:
+        graph.vertex(vertex_id)  # validate membership
+    return SubgraphView(graph, frozenset(vertex_ids), anchor)
+
+
+def k_hop_subgraph(graph: Graph, target: int, k: int) -> SubgraphView:
+    """``G[S(t, k)]`` — the induced subgraph of the k-hop set of ``target``.
+
+    This is the ``subgraph(t, k, G)`` call of Algorithm 1, line 6.
+    """
+    vertex_ids = k_hop_neighborhood(graph, target, k, directed=False)
+    return SubgraphView(graph, frozenset(vertex_ids), anchor=target)
+
+
+def materialize(view: SubgraphView) -> Graph:
+    """Copy a view into an independent :class:`Graph`.
+
+    Vertex ids are preserved so results can be mapped back to the parent.
+    """
+    out = Graph(name=f"{view.parent.name}[S]")
+    for vertex in view.vertices():
+        out.add_vertex(vertex.label, vertex.props, vertex_id=vertex.id)
+    for edge in view.edges():
+        out.add_edge(edge.src, edge.dst, edge.label, edge.props)
+    return out

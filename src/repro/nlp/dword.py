@@ -1,0 +1,54 @@
+"""Levenshtein edit distance, plain and normalized.
+
+``matchVertex`` in Algorithm 3 finds merged-graph vertices "whose
+distance is less than the empirical threshold" using the normalized
+Levenshtein distance of Yujian & Bo (2007) [37].
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert / delete / substitute, unit costs).
+
+    O(len(a) * len(b)) time, O(min(len(a), len(b))) space.
+    """
+    if a == b:
+        return 0
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost  # substitution
+            ))
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """Normalized edit distance in [0, 1].
+
+    Uses the Yujian-Bo normalization ``2*d / (len(a) + len(b) + d)``,
+    which (unlike d / max-len) remains a metric.
+    Identical strings give 0.0; completely different strings approach 1.
+    """
+    if a == b:
+        return 0.0
+    distance = levenshtein(a, b)
+    return (2 * distance) / (len(a) + len(b) + distance)
+
+
+def within_distance(a: str, b: str, threshold: float) -> bool:
+    """Whether the normalized distance between ``a`` and ``b`` is below
+    ``threshold`` (case-insensitive, as labels are matched in the paper).
+    """
+    return normalized_levenshtein(a.lower(), b.lower()) < threshold

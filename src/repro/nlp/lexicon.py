@@ -1,0 +1,288 @@
+"""POS lexicon and word lists for the question grammar.
+
+The tagger in :mod:`repro.nlp.pos` resolves words through this lexicon
+first and only falls back to suffix heuristics for unknown words.  The
+lexicon covers the closed-class words of English plus the open-class
+vocabulary used by the synthetic scenes, the knowledge graph, and the
+MVQA question templates.
+
+Tags are Penn Treebank tags, the same tagset the Stanford POS Tagger
+emits (the paper, §IV-B, uses 4 of the 45 tags — nouns, verbs,
+adjectives, adverbs — to segment clauses).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# closed classes
+# ---------------------------------------------------------------------------
+
+DETERMINERS = {"the": "DT", "a": "DT", "an": "DT", "this": "DT", "that": "DT",
+               "these": "DT", "those": "DT", "some": "DT", "any": "DT",
+               "every": "DT", "each": "DT", "no": "DT", "all": "DT",
+               "both": "DT"}
+
+WH_WORDS = {
+    "what": "WP", "who": "WP", "whom": "WP", "whose": "WP$",
+    "which": "WDT", "when": "WRB", "where": "WRB", "why": "WRB",
+    "how": "WRB",
+}
+
+PREPOSITIONS = {
+    "of", "in", "on", "at", "by", "with", "from", "to", "under", "over",
+    "behind", "beside", "between", "near", "into", "onto", "above",
+    "below", "through", "across", "around", "inside", "outside",
+    "against", "along", "during", "within", "toward", "towards",
+    "upon", "off", "out",
+}
+
+CONJUNCTIONS = {"and", "or", "but", "nor"}
+
+PRONOUNS = {"it": "PRP", "he": "PRP", "she": "PRP", "they": "PRP",
+            "him": "PRP", "her": "PRP", "them": "PRP", "i": "PRP",
+            "you": "PRP", "we": "PRP", "us": "PRP", "me": "PRP"}
+
+BE_FORMS = {"is": "VBZ", "are": "VBP", "was": "VBD", "were": "VBD",
+            "be": "VB", "been": "VBN", "being": "VBG", "am": "VBP"}
+
+AUX_DO = {"do": "VBP", "does": "VBZ", "did": "VBD"}
+
+AUX_HAVE = {"have": "VBP", "has": "VBZ", "had": "VBD"}
+
+MODALS = {"can", "could", "will", "would", "shall", "should", "may",
+          "might", "must"}
+
+EXISTENTIAL = {"there": "EX"}
+
+PARTICLES = {"n't": "RB", "not": "RB"}
+
+# ---------------------------------------------------------------------------
+# open classes — verbs
+# ---------------------------------------------------------------------------
+
+#: base -> (VBZ, VBP, VBG, VBN, VBD).  The regular slots can be derived,
+#: but listing them keeps tagging exact for the grammar's verbs.
+VERB_TABLE: dict[str, tuple[str, str, str, str, str]] = {
+    "wear": ("wears", "wear", "wearing", "worn", "wore"),
+    "carry": ("carries", "carry", "carrying", "carried", "carried"),
+    "hold": ("holds", "hold", "holding", "held", "held"),
+    "sit": ("sits", "sit", "sitting", "sat", "sat"),
+    "stand": ("stands", "stand", "standing", "stood", "stood"),
+    "ride": ("rides", "ride", "riding", "ridden", "rode"),
+    "watch": ("watches", "watch", "watching", "watched", "watched"),
+    "hang": ("hangs", "hang", "hanging", "hung", "hung"),
+    "appear": ("appears", "appear", "appearing", "appeared", "appeared"),
+    "walk": ("walks", "walk", "walking", "walked", "walked"),
+    "run": ("runs", "run", "running", "run", "ran"),
+    "jump": ("jumps", "jump", "jumping", "jumped", "jumped"),
+    "catch": ("catches", "catch", "catching", "caught", "caught"),
+    "eat": ("eats", "eat", "eating", "eaten", "ate"),
+    "drink": ("drinks", "drink", "drinking", "drunk", "drank"),
+    "drive": ("drives", "drive", "driving", "driven", "drove"),
+    "fly": ("flies", "fly", "flying", "flown", "flew"),
+    "look": ("looks", "look", "looking", "looked", "looked"),
+    "situate": ("situates", "situate", "situating", "situated", "situated"),
+    "park": ("parks", "park", "parking", "parked", "parked"),
+    "pull": ("pulls", "pull", "pulling", "pulled", "pulled"),
+    "push": ("pushes", "push", "pushing", "pushed", "pushed"),
+    "feed": ("feeds", "feed", "feeding", "fed", "fed"),
+    "chase": ("chases", "chase", "chasing", "chased", "chased"),
+    "follow": ("follows", "follow", "following", "followed", "followed"),
+    "lie": ("lies", "lie", "lying", "lain", "lay"),
+    "sleep": ("sleeps", "sleep", "sleeping", "slept", "slept"),
+    "play": ("plays", "play", "playing", "played", "played"),
+    "face": ("faces", "face", "facing", "faced", "faced"),
+    "lean": ("leans", "lean", "leaning", "leaned", "leaned"),
+    "attach": ("attaches", "attach", "attaching", "attached", "attached"),
+    "cover": ("covers", "cover", "covering", "covered", "covered"),
+    "surround": ("surrounds", "surround", "surrounding", "surrounded",
+                 "surrounded"),
+    "belong": ("belongs", "belong", "belonging", "belonged", "belonged"),
+    "live": ("lives", "live", "living", "lived", "lived"),
+    "own": ("owns", "own", "owning", "owned", "owned"),
+    "know": ("knows", "know", "knowing", "known", "knew"),
+    "love": ("loves", "love", "loving", "loved", "loved"),
+    "date": ("dates", "date", "dating", "dated", "dated"),
+    "marry": ("marries", "marry", "marrying", "married", "married"),
+    "teach": ("teaches", "teach", "teaching", "taught", "taught"),
+    "study": ("studies", "study", "studying", "studied", "studied"),
+    "fight": ("fights", "fight", "fighting", "fought", "fought"),
+    "help": ("helps", "help", "helping", "helped", "helped"),
+    "visit": ("visits", "visit", "visiting", "visited", "visited"),
+    "share": ("shares", "share", "sharing", "shared", "shared"),
+    "contain": ("contains", "contain", "containing", "contained",
+                "contained"),
+    "show": ("shows", "show", "showing", "shown", "showed"),
+    "graze": ("grazes", "graze", "grazing", "grazed", "grazed"),
+    "rest": ("rests", "rest", "resting", "rested", "rested"),
+    "wait": ("waits", "wait", "waiting", "waited", "waited"),
+    "cross": ("crosses", "cross", "crossing", "crossed", "crossed"),
+}
+
+_TAG_SLOTS = ("VBZ", "VBP", "VBG", "VBN", "VBD")
+
+
+def verb_form_index() -> dict[str, tuple[str, str]]:
+    """Map every inflected verb form to ``(tag, lemma)``.
+
+    The base form maps to ``("VB", lemma)``.  When a form is ambiguous
+    between slots (e.g. ``carried`` is both VBN and VBD) the participle
+    (VBN) wins, because the question grammar uses participles far more
+    often (passives, reduced relatives); the tagger's contextual rules
+    re-disambiguate after a VBD-selecting context.
+    """
+    index: dict[str, tuple[str, str]] = {}
+    for lemma, forms in VERB_TABLE.items():
+        index.setdefault(lemma, ("VB", lemma))
+        for tag, form in zip(_TAG_SLOTS, forms):
+            index.setdefault(form, (tag, lemma))
+    return index
+
+
+# ---------------------------------------------------------------------------
+# open classes — nouns
+# ---------------------------------------------------------------------------
+
+#: singular -> plural for the domain vocabulary.  Scene categories, KG
+#: entity types, and question-template nouns all come from here (the
+#: synth taxonomy imports this table so the vocabularies cannot drift).
+NOUN_TABLE: dict[str, str] = {
+    # humans
+    "man": "men", "woman": "women", "person": "people", "child": "children",
+    "boy": "boys", "girl": "girls", "rider": "riders", "player": "players",
+    "wizard": "wizards", "witch": "witches", "muggle": "muggles",
+    "girlfriend": "girlfriends", "boyfriend": "boyfriends",
+    "friend": "friends", "teacher": "teachers", "student": "students",
+    "owner": "owners", "driver": "drivers",
+    # animals
+    "dog": "dogs", "cat": "cats", "horse": "horses", "bird": "birds",
+    "cow": "cows", "sheep": "sheep", "bear": "bears", "elephant":
+    "elephants", "zebra": "zebras", "giraffe": "giraffes", "pet": "pets",
+    "animal": "animals", "puppy": "puppies", "kitten": "kittens",
+    "owl": "owls",
+    # vehicles
+    "car": "cars", "bus": "buses", "truck": "trucks", "bicycle": "bicycles",
+    "motorcycle": "motorcycles", "train": "trains", "boat": "boats",
+    "airplane": "airplanes", "vehicle": "vehicles",
+    # buildings / structures
+    "house": "houses", "building": "buildings", "tower": "towers",
+    "bridge": "bridges", "castle": "castles", "station": "stations",
+    "fence": "fences", "bench": "benches", "wall": "walls",
+    # objects
+    "frisbee": "frisbees", "ball": "balls", "kite": "kites",
+    "umbrella": "umbrellas", "backpack": "backpacks", "bag": "bags",
+    "hat": "hats", "helmet": "helmets", "robe": "robes", "cloak": "cloaks",
+    "scarf": "scarves", "coat": "coats", "shirt": "shirts",
+    "jacket": "jackets", "dress": "dresses", "suit": "suits",
+    "wand": "wands", "broom": "brooms", "book": "books",
+    "bottle": "bottles", "cup": "cups", "bowl": "bowls",
+    "chair": "chairs", "sofa": "sofas", "couch": "couches", "bed": "beds",
+    "table": "tables", "tv": "tvs", "television": "televisions",
+    "laptop": "laptops", "phone": "phones", "clock": "clocks",
+    "toy": "toys", "leash": "leashes", "collar": "collars",
+    "skateboard": "skateboards", "surfboard": "surfboards",
+    "snowboard": "snowboards", "ski": "skis",
+    # scene / abstract
+    "grass": "grasses", "tree": "trees", "road": "roads",
+    "street": "streets", "sidewalk": "sidewalks", "field": "fields",
+    "beach": "beaches", "park": "parks", "sky": "skies",
+    "window": "windows", "door": "doors", "kind": "kinds",
+    "type": "types", "sort": "sorts", "number": "numbers",
+    "scene": "scenes", "image": "images", "picture": "pictures",
+    "clothes": "clothes", "movie": "movies", "character": "characters",
+    "food": "foods", "plate": "plates", "pizza": "pizzas",
+    "sandwich": "sandwiches", "apple": "apples", "banana": "bananas",
+}
+
+
+def noun_form_index() -> dict[str, tuple[str, str]]:
+    """Map noun forms to ``(tag, lemma)`` — NN for singular, NNS plural."""
+    index: dict[str, tuple[str, str]] = {}
+    for singular, plural in NOUN_TABLE.items():
+        index.setdefault(singular, ("NN", singular))
+        if plural != singular:
+            index.setdefault(plural, ("NNS", singular))
+        else:
+            # invariant plurals (sheep, clothes) stay NN(S) ambiguous;
+            # prefer NNS for words the templates only use plurally
+            index.setdefault(plural, ("NN", singular))
+    # plural-only nouns
+    index["clothes"] = ("NNS", "clothes")
+    index["people"] = ("NNS", "person")
+    return index
+
+
+# ---------------------------------------------------------------------------
+# open classes — adjectives / adverbs
+# ---------------------------------------------------------------------------
+
+ADJECTIVES = {
+    "big", "small", "large", "little", "red", "blue", "green", "yellow",
+    "black", "white", "brown", "gray", "orange", "young", "old", "tall",
+    "short", "long", "frequent", "same", "different", "many", "much",
+    "wooden", "metal", "plastic", "dark", "bright", "happy",
+}
+
+SUPERLATIVE_ADJ = {"most": "RBS", "least": "RBS", "biggest": "JJS",
+                   "smallest": "JJS", "largest": "JJS", "tallest": "JJS"}
+
+COMPARATIVE_ADJ = {"more": "RBR", "less": "RBR", "bigger": "JJR",
+                   "smaller": "JJR", "fewer": "JJR"}
+
+ADVERBS = {
+    "frequently", "often", "usually", "always", "never", "together",
+    "nearby", "outside", "inside", "away", "closely", "directly", "also",
+    "only", "just", "still",
+}
+
+
+def build_lexicon() -> dict[str, tuple[str, str]]:
+    """Assemble the full word -> (tag, lemma) lexicon.
+
+    Later entries never overwrite earlier ones, so closed-class
+    assignments take priority (e.g. "that" stays DT/WDT material even
+    though templates never use it as a noun).
+    """
+    lexicon: dict[str, tuple[str, str]] = {}
+
+    def put(word: str, tag: str, lemma: str | None = None) -> None:
+        lexicon.setdefault(word, (tag, lemma or word))
+
+    for word, tag in WH_WORDS.items():
+        put(word, tag)
+    for word, tag in DETERMINERS.items():
+        put(word, tag)
+    for word in PREPOSITIONS:
+        put(word, "IN")
+    for word in CONJUNCTIONS:
+        put(word, "CC")
+    for word, tag in PRONOUNS.items():
+        put(word, tag)
+    for word, tag in BE_FORMS.items():
+        put(word, tag, "be")
+    for word, tag in AUX_DO.items():
+        put(word, tag, "do")
+    for word, tag in AUX_HAVE.items():
+        put(word, tag, "have")
+    for word in MODALS:
+        put(word, "MD")
+    for word, tag in EXISTENTIAL.items():
+        put(word, tag)
+    for word, tag in PARTICLES.items():
+        put(word, tag, "not")
+    put("'s", "POS")
+    put("to", "TO")
+
+    for word, (tag, lemma) in verb_form_index().items():
+        put(word, tag, lemma)
+    for word, (tag, lemma) in noun_form_index().items():
+        put(word, tag, lemma)
+    for word in ADJECTIVES:
+        put(word, "JJ")
+    for word, tag in SUPERLATIVE_ADJ.items():
+        put(word, tag)
+    for word, tag in COMPARATIVE_ADJ.items():
+        put(word, tag)
+    for word in ADVERBS:
+        put(word, "RB")
+    return lexicon

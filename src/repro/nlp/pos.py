@@ -1,0 +1,154 @@
+"""Part-of-speech tagger over the Penn Treebank tagset.
+
+The Stanford POS tagger the paper uses (Eq. 4) is a feature-rich
+discriminative model; this substitution is a deterministic three-stage
+tagger in the lineage of Brill (1992):
+
+1. **lexicon lookup** — closed classes and the domain vocabulary,
+2. **suffix heuristics** — morphological guesses for unknown words,
+3. **contextual rules** — a small Brill-style rule cascade that fixes
+   tags from neighbors (e.g. a participle after a *be* form is VBN;
+   a word after a determiner that got a verb tag becomes NN).
+
+Unknown words that look foreign (no recognizable English suffix, not
+capitalized, latinate ending) are tagged ``FW`` — reproducing the
+failure mode of Fig. 8(a), where "canis" is tagged FW and breaks the
+downstream parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.lexicon import build_lexicon
+from repro.nlp.tokenize import Token, tokenize
+
+_LEXICON = build_lexicon()
+
+#: tags that count as verbal for contextual rules
+VERB_TAGS = {"VB", "VBZ", "VBP", "VBG", "VBN", "VBD", "MD"}
+NOUN_TAGS = {"NN", "NNS", "NNP", "NNPS"}
+
+_FOREIGN_ENDINGS = ("is", "us", "um", "ae", "ii", "ix", "ox")
+
+
+@dataclass(frozen=True)
+class TaggedToken:
+    """A token with its POS tag and lemma."""
+
+    index: int
+    text: str
+    tag: str
+    lemma: str
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    @property
+    def is_verb(self) -> bool:
+        return self.tag in VERB_TAGS
+
+    @property
+    def is_noun(self) -> bool:
+        return self.tag in NOUN_TAGS
+
+    @property
+    def is_punct(self) -> bool:
+        return self.tag in {".", ",", ":"}
+
+
+def tag_tokens(tokens: list[Token]) -> list[TaggedToken]:
+    """Tag a token sequence."""
+    initial = [_initial_tag(token, position) for position, token in
+               enumerate(tokens)]
+    return _apply_contextual_rules(initial)
+
+
+def tag(text: str) -> list[TaggedToken]:
+    """Tokenize and tag ``text`` in one call.
+
+    >>> [t.tag for t in tag("the dog runs")]
+    ['DT', 'NN', 'VBZ']
+    """
+    return tag_tokens(tokenize(text))
+
+
+def _initial_tag(token: Token, position: int) -> TaggedToken:
+    word = token.text
+    lowered = token.lower
+
+    if lowered in _LEXICON:
+        tag_, lemma = _LEXICON[lowered]
+        return TaggedToken(token.index, word, tag_, lemma)
+    if token.is_punct:
+        return TaggedToken(token.index, word, word if word in ".,:" else ".",
+                           word)
+    if word.isdigit():
+        return TaggedToken(token.index, word, "CD", word)
+    # proper noun: capitalized anywhere but utterance start; at start we
+    # still call it NNP if it is not in the lexicon at all (names like
+    # "Harry" only ever appear capitalized)
+    if word[0].isupper():
+        return TaggedToken(token.index, word, "NNP", word)
+    return _suffix_guess(token)
+
+
+def _suffix_guess(token: Token) -> TaggedToken:
+    word = token.lower
+    if word.endswith("ing") and len(word) > 4:
+        return TaggedToken(token.index, token.text, "VBG", word)
+    if word.endswith("ed") and len(word) > 3:
+        return TaggedToken(token.index, token.text, "VBN", word)
+    if word.endswith("ly") and len(word) > 3:
+        return TaggedToken(token.index, token.text, "RB", word)
+    if word.endswith(("able", "ible", "ful", "ous", "ish", "ive")):
+        return TaggedToken(token.index, token.text, "JJ", word)
+    if word.endswith("s") and not word.endswith("ss") and len(word) > 3 \
+            and not word.endswith(_FOREIGN_ENDINGS):
+        return TaggedToken(token.index, token.text, "NNS", word[:-1])
+    if word.endswith(_FOREIGN_ENDINGS):
+        # latinate unknown word -> FW (the Fig. 8a failure mode)
+        return TaggedToken(token.index, token.text, "FW", word)
+    return TaggedToken(token.index, token.text, "NN", word)
+
+
+def _apply_contextual_rules(tagged: list[TaggedToken]) -> list[TaggedToken]:
+    """Brill-style contextual repairs, applied left to right."""
+    result = list(tagged)
+
+    def retag(i: int, new_tag: str, lemma: str | None = None) -> None:
+        old = result[i]
+        result[i] = TaggedToken(old.index, old.text, new_tag,
+                                lemma if lemma is not None else old.lemma)
+
+    for i, current in enumerate(result):
+        prev = result[i - 1] if i > 0 else None
+        nxt = result[i + 1] if i + 1 < len(result) else None
+
+        # DT + base/plural verb tag -> the word is a noun ("the watch",
+        # "a park"); a determiner can never precede a finite verb.
+        if (prev is not None and prev.tag == "DT"
+                and current.tag in {"VB", "VBP"}):
+            retag(i, "NN")
+        # be + VBD that could be VBN -> VBN ("was held")
+        elif (prev is not None and prev.lemma == "be"
+              and current.tag == "VBD"):
+            retag(i, "VBN")
+        # do/does/did + VBZ/VBP stays; do + NN that is also a verb form
+        # is out of scope for the grammar.
+        # WDT/WP "that" vs DT "that": "that" directly before a finite verb
+        # or auxiliary is a relative pronoun
+        if (current.lower == "that" and nxt is not None
+                and (nxt.tag in VERB_TAGS or nxt.lemma == "be")):
+            retag(i, "WDT")
+        # "how many" -> many is JJ (it is in ADJECTIVES already); "how"
+        # stays WRB.
+        # superlative RBS + JJ -> keep; RBS + RB ("most frequently") keep.
+
+    return result
+
+
+def unknown_word_report(tagged: list[TaggedToken]) -> list[TaggedToken]:
+    """Tokens tagged FW — surfaced to callers for error analysis."""
+    return [t for t in tagged if t.tag == "FW"]

@@ -1,0 +1,123 @@
+"""Simulated-time cost model.
+
+The paper reports wall-clock latencies measured on an 8xV100 GPU server
+(e.g. SVQA answers 100 MVQA questions in 10.38 s, VisualBert needs
+3375.56 s).  We have neither the hardware nor the pretrained models, so
+latency in this reproduction is accounted by an explicit *cost model*:
+every primitive operation (loading a model, running one image through a
+detector, probing the merged graph, ...) charges a configurable number
+of *simulated seconds* to a :class:`SimClock`.
+
+This preserves exactly what the paper's latency experiments measure —
+*how many expensive operations each design performs* — while staying
+deterministic and fast to run.  Benchmarks report simulated seconds;
+the ratios between systems (e.g. SVQA being ~300x faster than
+VisualBert because it never re-runs a vision model per question) are
+reproduced structurally, because the operation counts are real.
+
+Example
+-------
+>>> clock = SimClock()
+>>> clock.charge("graph_probe")
+>>> clock.elapsed > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Default cost table, in simulated seconds per operation.  The values
+#: are calibrated so that the end-to-end benchmarks land in the same
+#: regime as the paper's Tables III/IV and Figures 9-11; see
+#: EXPERIMENTS.md for the calibration notes.
+DEFAULT_COSTS: dict[str, float] = {
+    # --- vision ---
+    "model_load_vqa": 120.0,        # loading a large VQA checkpoint
+    "model_load_splitter": 8.0,     # loading an ABCD/DisSim checkpoint
+    "model_load_sgg": 30.0,         # loading a scene-graph model
+    "vqa_forward": 0.35,            # one image+question forward pass
+    "sgg_forward": 0.25,            # one image through the SGG pipeline
+    "detector_forward": 0.08,       # one image through the detector
+    "relation_forward": 0.12,       # relation prediction for one image
+    # --- NLP ---
+    "pos_tag": 0.004,               # tagging one question
+    "dep_parse": 0.02,              # parsing one question
+    "clause_segment": 0.003,        # clause segmentation
+    "spoc_extract": 0.008,          # SPOC extraction per clause
+    "splitter_forward": 0.6,        # one question through a DL splitter
+    # --- graph / executor ---
+    "vertex_match": 0.00008,        # one candidate comparison in matchVertex
+    "scope_scan": 0.003,            # full label scan for one SPOC endpoint
+    "path_probe": 0.008,            # relation-pair retrieval for one vertex pair set
+    "edge_scan": 0.000028,          # scanning one edge during getRelations
+    "embed_score": 0.0007,          # one maxScore embedding comparison
+    "cache_hit": 0.0004,            # fetching a cached scope/path item
+    "kg_lookup": 0.006,             # direct storage lookup for rare vertices
+    "subgraph_extract": 0.05,       # extracting one G[S(t,k)]
+    "merge_link": 0.0008,           # linking one scene-graph vertex
+}
+
+
+@dataclass
+class SimClock:
+    """Accumulates simulated seconds charged by primitive operations.
+
+    Parameters
+    ----------
+    costs:
+        Mapping from operation name to cost in simulated seconds.
+        Unknown operations raise ``KeyError`` so typos surface early.
+    """
+
+    costs: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_COSTS))
+    elapsed: float = 0.0
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, operation: str, times: int = 1) -> float:
+        """Charge ``times`` occurrences of ``operation``.
+
+        Returns the simulated seconds charged by this call.
+        """
+        if times < 0:
+            raise ValueError(f"times must be >= 0, got {times}")
+        cost = self.costs[operation] * times
+        self.elapsed += cost
+        self.counts[operation] = self.counts.get(operation, 0) + times
+        return cost
+
+    def charge_amount(self, operation: str, seconds: float) -> float:
+        """Charge an explicit amount of simulated seconds.
+
+        Used for data-dependent costs (e.g. scanning ``n`` edges charges
+        ``n * costs['edge_scan']`` via :meth:`charge`, but a few call
+        sites compute the amount themselves).
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.elapsed += seconds
+        self.counts[operation] = self.counts.get(operation, 0) + 1
+        return seconds
+
+    def reset(self) -> None:
+        """Zero the clock and the per-operation counters."""
+        self.elapsed = 0.0
+        self.counts.clear()
+
+    def snapshot(self) -> "ClockSnapshot":
+        """Capture the current elapsed time for later interval measurement."""
+        return ClockSnapshot(self, self.elapsed)
+
+
+@dataclass
+class ClockSnapshot:
+    """A point-in-time marker on a :class:`SimClock`."""
+
+    clock: SimClock
+    start: float
+
+    @property
+    def interval(self) -> float:
+        """Simulated seconds elapsed since the snapshot was taken."""
+        return self.clock.elapsed - self.start

@@ -1,0 +1,415 @@
+"""Seeded scene-pool generator (the COCO-pool substitute).
+
+MVQA starts from a 13,808-image COCO pool (§VI-B).  This generator
+produces a pool of :class:`~repro.synth.scene.SyntheticScene` from a
+library of *scene templates* — recurring compositions (a dog catching
+a frisbee while a man watches; a pet looking out of a car; people
+riding horses; street scenes...) with randomized categories, positions,
+and backgrounds.  Generation is fully determined by the seed.
+
+Every semantic relation a template asserts is realized geometrically by
+the placement engine, so the rendered raster genuinely supports the
+relation (a held frisbee overlaps the dog; a rider sits on the horse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.synth.scene import (
+    Box,
+    CANVAS,
+    SceneObject,
+    SceneRelation,
+    SyntheticScene,
+    complete_spatial_relations,
+)
+from repro.synth.taxonomy import category_by_name
+from repro.nlp.morphology import gerund, verb_lemma
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One participant slot of a template: a name and category choices."""
+
+    name: str
+    categories: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SceneTemplate:
+    """A recurring scene composition.
+
+    ``relations`` are (src_slot, predicate, dst_slot) triples; the
+    placement engine realizes them in order, so a slot must appear as
+    the *later* participant of its first relation with an
+    already-placed slot.
+    """
+
+    name: str
+    slots: tuple[SlotSpec, ...]
+    relations: tuple[tuple[str, str, str], ...]
+    background: tuple[str, ...] = ()
+    optional_extras: tuple[str, ...] = ()
+
+
+TEMPLATES: tuple[SceneTemplate, ...] = (
+    SceneTemplate(
+        "dog_frisbee",
+        (SlotSpec("ground", ("grass", "field")),
+         SlotSpec("dog", ("dog",)),
+         SlotSpec("frisbee", ("frisbee", "ball")),
+         SlotSpec("man", ("man", "woman", "boy"))),
+        (("dog", "jumping over", "ground"),
+         ("dog", "catching", "frisbee"),
+         ("man", "watching", "dog")),
+        background=("fence", "tree"),
+    ),
+    SceneTemplate(
+        "pet_in_vehicle",
+        (SlotSpec("vehicle", ("car", "truck", "bus")),
+         SlotSpec("pet", ("dog", "cat"))),
+        (("pet", "looking out of", "vehicle"),),
+        background=("road", "building"),
+    ),
+    SceneTemplate(
+        "pet_carrying",
+        (SlotSpec("ground", ("grass", "beach", "field")),
+         SlotSpec("pet", ("dog", "cat")),
+         SlotSpec("prey", ("bird", "toy", "ball"))),
+        (("pet", "standing on", "ground"),
+         ("pet", "carrying", "prey")),
+        background=("tree",),
+    ),
+    SceneTemplate(
+        "riding",
+        (SlotSpec("ground", ("field", "road", "beach")),
+         SlotSpec("mount", ("horse", "bicycle", "motorcycle",
+                            "skateboard")),
+         SlotSpec("rider", ("man", "woman", "boy", "girl")),
+         SlotSpec("headwear", ("hat", "helmet"))),
+        (("mount", "on", "ground"),
+         ("rider", "riding", "mount"),
+         ("rider", "wearing", "headwear")),
+        background=("tree", "fence"),
+    ),
+    SceneTemplate(
+        "street",
+        (SlotSpec("road", ("road",)),
+         SlotSpec("vehicle", ("car", "bus", "truck", "motorcycle")),
+         SlotSpec("walkway", ("sidewalk",)),
+         SlotSpec("person", ("man", "woman"))),
+        (("vehicle", "parked on", "road"),
+         ("person", "walking on", "walkway")),
+        background=("building", "tower"),
+    ),
+    SceneTemplate(
+        "dressed_person",
+        (SlotSpec("person", ("man", "woman")),
+         SlotSpec("clothes", ("robe", "coat", "scarf")),
+         SlotSpec("headwear", ("hat", "helmet"))),
+        (("person", "wearing", "clothes"),
+         ("person", "wearing", "headwear")),
+        background=("building", "house", "grass"),
+    ),
+    SceneTemplate(
+        "grazing",
+        (SlotSpec("ground", ("field", "grass")),
+         SlotSpec("animal", ("cow", "sheep", "horse", "zebra",
+                             "giraffe", "elephant"))),
+        (("animal", "standing on", "ground"),
+         ("animal", "eating", "ground")),
+        background=("tree", "fence"),
+    ),
+    SceneTemplate(
+        "living_room",
+        (SlotSpec("seat", ("sofa", "chair", "bed")),
+         SlotSpec("pet", ("cat", "dog")),
+         SlotSpec("screen", ("tv", "laptop")),
+         SlotSpec("person", ("man", "woman", "girl", "boy"))),
+        (("pet", "sitting on", "seat"),
+         ("person", "watching", "screen")),
+        background=("window", "wall", "table"),
+    ),
+    SceneTemplate(
+        "nap",
+        (SlotSpec("bed", ("bed", "sofa")),
+         SlotSpec("pet", ("dog", "cat"))),
+        (("pet", "lying on", "bed"),),
+        background=("window", "wall"),
+    ),
+    SceneTemplate(
+        "park_play",
+        (SlotSpec("ground", ("grass", "field")),
+         SlotSpec("child", ("boy", "girl")),
+         SlotSpec("toy", ("ball", "frisbee", "kite", "toy"))),
+        (("child", "standing on", "ground"),
+         ("child", "playing with", "toy")),
+        background=("bench", "tree"),
+    ),
+    SceneTemplate(
+        "beach_kite",
+        (SlotSpec("ground", ("beach",)),
+         SlotSpec("person", ("man", "woman", "boy", "girl")),
+         SlotSpec("item", ("kite", "surfboard", "umbrella"))),
+        (("person", "standing on", "ground"),
+         ("person", "holding", "item")),
+    ),
+    SceneTemplate(
+        "bus_stop",
+        (SlotSpec("structure", ("station", "building")),
+         SlotSpec("vehicle", ("bus", "train")),
+         SlotSpec("person", ("man", "woman"))),
+        (("vehicle", "near", "structure"),
+         ("person", "next to", "vehicle")),
+        background=("road",),
+    ),
+    SceneTemplate(
+        "dog_walk",
+        (SlotSpec("walkway", ("sidewalk", "road", "grass")),
+         SlotSpec("person", ("man", "woman")),
+         SlotSpec("pet", ("dog",)),
+         SlotSpec("lead", ("leash",))),
+        (("person", "walking on", "walkway"),
+         ("person", "holding", "lead"),
+         ("pet", "next to", "person")),
+        background=("fence", "tree", "building"),
+    ),
+    SceneTemplate(
+        "feeding",
+        (SlotSpec("ground", ("grass", "field")),
+         SlotSpec("person", ("man", "woman", "girl", "boy")),
+         SlotSpec("animal", ("bird", "horse", "sheep", "dog"))),
+        (("person", "standing on", "ground"),
+         ("person", "feeding", "animal")),
+        background=("bench", "tree", "fence"),
+    ),
+    SceneTemplate(
+        "picnic",
+        (SlotSpec("ground", ("grass", "beach")),
+         SlotSpec("table", ("table", "bench")),
+         SlotSpec("person", ("man", "woman", "boy", "girl")),
+         SlotSpec("food", ("pizza", "sandwich", "apple", "banana"))),
+        (("table", "on", "ground"),
+         ("person", "eating", "food")),
+        background=("tree",),
+    ),
+    SceneTemplate(
+        "chase",
+        (SlotSpec("ground", ("grass", "field", "beach")),
+         SlotSpec("chaser", ("dog",)),
+         SlotSpec("chased", ("cat", "bird", "sheep"))),
+        (("chaser", "chasing", "chased"),
+         ("chaser", "standing on", "ground")),
+        background=("tree", "fence"),
+    ),
+    SceneTemplate(
+        "horse_cart",
+        (SlotSpec("ground", ("road", "field")),
+         SlotSpec("horse", ("horse",)),
+         SlotSpec("load", ("car", "truck"))),
+        (("horse", "standing on", "ground"),
+         ("horse", "pulling", "load")),
+        background=("tree", "fence", "house"),
+    ),
+)
+
+
+class SceneGenerator:
+    """Deterministic scene generator.
+
+    >>> pool = SceneGenerator(seed=7).generate_pool(10)
+    >>> len(pool)
+    10
+    """
+
+    def __init__(self, seed: int = 0,
+                 templates: tuple[SceneTemplate, ...] = TEMPLATES) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._templates = templates
+
+    def generate_pool(self, count: int) -> list[SyntheticScene]:
+        """Generate ``count`` scenes with sequential image ids."""
+        return [self.generate(image_id) for image_id in range(count)]
+
+    def generate(self, image_id: int) -> SyntheticScene:
+        """Generate one scene from a random template."""
+        template = self._templates[self._rng.integers(len(self._templates))]
+        return self.generate_from_template(image_id, template)
+
+    def generate_from_template(
+        self, image_id: int, template: SceneTemplate
+    ) -> SyntheticScene:
+        rng = self._rng
+        chosen: dict[str, str] = {
+            slot.name: slot.categories[rng.integers(len(slot.categories))]
+            for slot in template.slots
+        }
+        placed: dict[str, SceneObject] = {}
+        objects: list[SceneObject] = []
+        relations: list[SceneRelation] = []
+
+        def add_object(category: str, box: Box, depth: float) -> SceneObject:
+            obj = SceneObject(len(objects), category, box.clipped(),
+                              float(np.clip(depth, 0.0, 1.0)))
+            objects.append(obj)
+            return obj
+
+        # place slots in template order, honoring relation geometry
+        for slot in template.slots:
+            category = chosen[slot.name]
+            anchor_relation = _first_relation_with_placed(
+                template.relations, slot.name, placed
+            )
+            if anchor_relation is None:
+                box, depth = self._free_placement(category)
+            else:
+                src, predicate, dst = anchor_relation
+                if src == slot.name:
+                    anchor = placed[dst]
+                    box, depth = self._place_subject(category, predicate,
+                                                     anchor)
+                else:
+                    anchor = placed[src]
+                    box, depth = self._place_object(category, predicate,
+                                                    anchor)
+            placed[slot.name] = add_object(category, box, depth)
+
+        for src, predicate, dst in template.relations:
+            relations.append(SceneRelation(placed[src].index,
+                                           placed[dst].index, predicate))
+
+        # background and extras
+        for category in template.background:
+            if rng.random() < 0.5:
+                box, depth = self._free_placement(category)
+                add_object(category, box, depth + 0.1)
+
+        relations = complete_spatial_relations(objects, relations)
+        caption = _caption(objects, relations)
+        return SyntheticScene(image_id, objects, relations, caption)
+
+    # ------------------------------------------------------------------
+    # placement engine
+    # ------------------------------------------------------------------
+    def _sample_size(self, category: str) -> tuple[int, int]:
+        lo, hi = category_by_name(category).size
+        w = int(self._rng.integers(lo, hi + 1))
+        h = int(w * self._rng.uniform(0.7, 1.3))
+        return w, max(2, min(h, CANVAS - 2))
+
+    def _free_placement(self, category: str) -> tuple[Box, float]:
+        w, h = self._sample_size(category)
+        x = int(self._rng.integers(0, max(1, CANVAS - w)))
+        y = int(self._rng.integers(0, max(1, CANVAS - h)))
+        depth = category_by_name(category).depth_bias + \
+            self._rng.uniform(-0.08, 0.08)
+        return Box(x, y, w, h), depth
+
+    def _place_subject(
+        self, category: str, predicate: str, anchor: SceneObject
+    ) -> tuple[Box, float]:
+        """Place the relation's *subject* relative to a placed object."""
+        w, h = self._sample_size(category)
+        a = anchor.box
+        rng = self._rng
+        if predicate in {"on", "sitting on", "standing on", "lying on",
+                         "riding", "walking on", "parked on",
+                         "jumping over", "eating"}:
+            # subject rests on / above the anchor
+            x = int(rng.integers(a.x, max(a.x + 1, a.x2 - w)))
+            y = max(0, a.y - h + max(2, h // 4))
+            return Box(x, y, w, h), anchor.depth - 0.1
+        if predicate in {"in", "looking out of"}:
+            x = int(rng.integers(a.x, max(a.x + 1, a.x2 - w)))
+            y = int(rng.integers(a.y, max(a.y + 1, a.y2 - h)))
+            return Box(x, y, min(w, a.w), min(h, a.h)), anchor.depth - 0.1
+        if predicate in {"catching", "holding", "carrying", "pulling",
+                         "feeding", "chasing", "playing with"}:
+            # subject adjacent with a slight overlap
+            x = a.x - w + max(2, w // 5)
+            y = int(rng.integers(max(0, a.y - h // 2), a.y + 1))
+            return Box(max(0, x), max(0, y), w, h), anchor.depth
+        # watching / near / next to / hanging out with: beside, no overlap
+        gap = max(3, (a.w + w) // 8)
+        side = 1 if rng.random() < 0.5 else -1
+        x = a.x2 + gap if side > 0 else a.x - gap - w
+        y = int(rng.integers(max(0, a.y - h // 3), a.y + max(1, a.h // 3)))
+        depth = anchor.depth + (0.25 if predicate == "behind" else 0.0)
+        return Box(max(0, min(x, CANVAS - w)), max(0, y), w, h), depth
+
+    def _place_object(
+        self, category: str, predicate: str, anchor: SceneObject
+    ) -> tuple[Box, float]:
+        """Place the relation's *object* relative to the placed subject."""
+        w, h = self._sample_size(category)
+        a = anchor.box
+        rng = self._rng
+        if predicate in {"wearing", "has"}:
+            # worn item sits inside the wearer's upper body
+            w = min(w, max(2, a.w - 2))
+            h = min(h, max(2, a.h // 3))
+            x = a.x + max(0, (a.w - w) // 2)
+            y = a.y + (0 if category in {"hat", "helmet"} else a.h // 4)
+            return Box(x, y, w, h), anchor.depth - 0.05
+        if predicate in {"holding", "carrying", "catching", "eating",
+                         "playing with", "pulling"}:
+            # held item overlaps the subject's edge
+            x = a.x2 - max(2, w // 3)
+            y = a.y + a.h // 3
+            return Box(min(x, CANVAS - w), min(y, CANVAS - h), w, h), \
+                anchor.depth - 0.05
+        if predicate in {"looking out of", "in"}:
+            # container is larger, behind
+            w2 = max(w, a.w + 10)
+            h2 = max(h, a.h + 10)
+            x = max(0, a.x - 5)
+            y = max(0, a.y - 5)
+            return Box(x, y, w2, h2), anchor.depth + 0.15
+        if predicate in {"sitting on", "standing on", "lying on", "riding",
+                         "walking on", "parked on", "on", "jumping over"}:
+            # supporting surface under the subject
+            w2 = max(w, a.w + 8)
+            x = max(0, a.x - 4)
+            y = min(CANVAS - h, a.y2 - max(2, h // 4))
+            return Box(x, y, w2, h), anchor.depth + 0.15
+        # watching / chasing / feeding / near: beside
+        gap = max(3, (a.w + w) // 8)
+        x = min(CANVAS - w, a.x2 + gap)
+        y = int(rng.integers(max(0, a.y - h // 3), a.y + max(1, a.h // 3)))
+        return Box(x, max(0, y), w, h), anchor.depth
+
+
+def _first_relation_with_placed(
+    relations: tuple[tuple[str, str, str], ...],
+    slot: str,
+    placed: dict[str, SceneObject],
+) -> tuple[str, str, str] | None:
+    for src, predicate, dst in relations:
+        if src == slot and dst in placed:
+            return (src, predicate, dst)
+        if dst == slot and src in placed:
+            return (src, predicate, dst)
+    return None
+
+
+def _caption(objects: list[SceneObject],
+             relations: list[SceneRelation]) -> str:
+    """A short caption from the semantic relations (MVQA annotators work
+    from captions, §VI-B)."""
+    from repro.synth.relations import SEMANTIC_RELATIONS
+
+    sentences = []
+    for relation in relations:
+        if relation.predicate not in SEMANTIC_RELATIONS:
+            continue
+        src = objects[relation.src].category
+        dst = objects[relation.dst].category
+        words = relation.predicate.split()
+        verb = gerund(verb_lemma(words[0]))
+        tail = " ".join(words[1:])
+        predicate = f"{verb} {tail}".strip()
+        sentences.append(f"A {src} is {predicate} the {dst}.")
+    return " ".join(sentences)

@@ -1,0 +1,88 @@
+"""Relation (predicate) vocabulary shared by scenes and SGG models.
+
+The vocabulary plays the role of Visual Genome's 50 predicate classes.
+``PRIOR`` encodes the long-tailed label-pair-independent frequency bias
+that plagues trained SGG models: head predicates like "on" and "near"
+dominate, so a biased model predicts them everywhere (the Fig. 3(a)
+phenomenon TDE corrects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: predicate -> training-frequency prior.  Head classes first; the tail
+#: carries the explicit/semantic predicates TDE is supposed to recover.
+PRIOR: dict[str, float] = {
+    "on": 0.24,
+    "near": 0.20,
+    "has": 0.11,
+    "in": 0.08,
+    "next to": 0.06,
+    "behind": 0.035,
+    "in front of": 0.030,
+    "above": 0.025,
+    "under": 0.025,
+    "sitting on": 0.020,
+    "standing on": 0.020,
+    "holding": 0.018,
+    "wearing": 0.016,
+    "watching": 0.014,
+    "riding": 0.012,
+    "carrying": 0.012,
+    "walking on": 0.010,
+    "lying on": 0.010,
+    "eating": 0.009,
+    "playing with": 0.008,
+    "catching": 0.008,
+    "jumping over": 0.007,
+    "pulling": 0.006,
+    "parked on": 0.006,
+    "looking out of": 0.005,
+    "hanging out with": 0.005,
+    "chasing": 0.004,
+    "feeding": 0.004,
+}
+
+RELATIONS: tuple[str, ...] = tuple(PRIOR)
+
+#: spatial predicates derivable from box geometry alone
+SPATIAL_RELATIONS = frozenset({
+    "on", "near", "in", "next to", "behind", "in front of", "above",
+    "under",
+})
+
+#: ubiquitous head predicates with no distinctive visual appearance —
+#: a relation head learns them from frequency, not from pixels, so the
+#: renderer emits no appearance signal for them (they are exactly the
+#: bias TDE subtracts)
+UBIQUITOUS_RELATIONS = frozenset({"on", "near", "has", "in", "next to"})
+
+#: semantic predicates that require appearance evidence
+SEMANTIC_RELATIONS = frozenset(RELATIONS) - SPATIAL_RELATIONS
+
+
+def relation_index(predicate: str) -> int:
+    """Stable class id of a predicate."""
+    try:
+        return _INDEX[predicate]
+    except KeyError:
+        raise KeyError(f"unknown relation: {predicate!r}") from None
+
+
+def prior_vector() -> np.ndarray:
+    """The frequency prior as a normalized vector over RELATIONS."""
+    vec = np.array([PRIOR[r] for r in RELATIONS], dtype=float)
+    return vec / vec.sum()
+
+
+_INDEX = {r: i for i, r in enumerate(RELATIONS)}
+
+
+def _validate() -> None:
+    total = sum(PRIOR.values())
+    if not 0.99 < total < 1.01:
+        raise ValueError(f"relation priors sum to {total}, expected ~1.0")
+
+
+_validate()

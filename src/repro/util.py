@@ -1,0 +1,18 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash(*parts: object) -> int:
+    """A process-independent 63-bit hash of the given parts.
+
+    Python's builtin ``hash`` randomizes string hashing per process
+    (PYTHONHASHSEED), which would make every seeded component
+    nondeterministic across runs — fatal for a reproduction.  This
+    digest is stable everywhere.
+    """
+    text = "\x1f".join(repr(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFFFFFFFFFFFFFF

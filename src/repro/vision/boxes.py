@@ -1,0 +1,50 @@
+"""Box utilities for the vision pipeline.
+
+Re-exports the core :class:`~repro.synth.scene.Box` math and adds the
+operations the detector and the SGG evaluation need (matching detected
+boxes to ground truth, non-maximum suppression).
+"""
+
+from __future__ import annotations
+
+from repro.synth.scene import Box, center_distance, iou, overlap_fraction
+
+__all__ = ["Box", "center_distance", "iou", "match_boxes", "nms",
+           "overlap_fraction"]
+
+
+def match_boxes(
+    detected: list[Box],
+    truth: list[Box],
+    threshold: float = 0.5,
+) -> dict[int, int]:
+    """Greedy IoU matching: detected index -> ground-truth index.
+
+    Each ground-truth box is matched at most once; pairs are taken in
+    descending IoU order, and pairs below ``threshold`` are ignored.
+    """
+    pairs = []
+    for i, det in enumerate(detected):
+        for j, gt in enumerate(truth):
+            score = iou(det, gt)
+            if score >= threshold:
+                pairs.append((score, i, j))
+    pairs.sort(key=lambda p: -p[0])
+    matched: dict[int, int] = {}
+    used_truth: set[int] = set()
+    for _, i, j in pairs:
+        if i in matched or j in used_truth:
+            continue
+        matched[i] = j
+        used_truth.add(j)
+    return matched
+
+
+def nms(boxes: list[Box], scores: list[float], threshold: float = 0.6) -> list[int]:
+    """Non-maximum suppression; returns kept indices, best first."""
+    order = sorted(range(len(boxes)), key=lambda i: -scores[i])
+    kept: list[int] = []
+    for i in order:
+        if all(iou(boxes[i], boxes[k]) < threshold for k in kept):
+            kept.append(i)
+    return kept

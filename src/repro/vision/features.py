@@ -1,0 +1,102 @@
+"""Feature-map extraction for detected regions.
+
+The paper's RPN produces a feature map ``m_i`` per bounding box
+(§III-A).  Here a feature map is a flat vector with three parts:
+
+* **geometry** — normalized box coordinates, area, visibility;
+* **appearance** — a hashed category-histogram of the region's pixels
+  (what a conv backbone would summarize);
+* **interaction** — the region's pooled subject/object relation
+  signals, weighted by the *visible* pixel mix, so occluded or merged
+  regions carry corrupted signals.
+
+``Mask(m_i)`` (Eq. 2 of the paper) zeroes the interaction part — the
+appearance evidence — while geometry stays available, exactly like TDE
+keeps boxes/labels but masks feature maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.relations import RELATIONS
+from repro.synth.scene import Box, CANVAS, Raster
+
+GEOMETRY_DIM = 6
+APPEARANCE_DIM = 16
+INTERACTION_DIM = 2 * len(RELATIONS)
+FEATURE_DIM = GEOMETRY_DIM + APPEARANCE_DIM + INTERACTION_DIM
+
+
+@dataclass(frozen=True)
+class FeatureMap:
+    """A region's feature vector, with named views of its parts."""
+
+    vector: np.ndarray
+
+    @property
+    def geometry(self) -> np.ndarray:
+        return self.vector[:GEOMETRY_DIM]
+
+    @property
+    def appearance(self) -> np.ndarray:
+        return self.vector[GEOMETRY_DIM:GEOMETRY_DIM + APPEARANCE_DIM]
+
+    @property
+    def subject_signal(self) -> np.ndarray:
+        start = GEOMETRY_DIM + APPEARANCE_DIM
+        return self.vector[start:start + len(RELATIONS)]
+
+    @property
+    def object_signal(self) -> np.ndarray:
+        start = GEOMETRY_DIM + APPEARANCE_DIM + len(RELATIONS)
+        return self.vector[start:]
+
+    def masked(self) -> "FeatureMap":
+        """The TDE mask: interaction signals zeroed, geometry kept."""
+        vector = self.vector.copy()
+        vector[GEOMETRY_DIM + APPEARANCE_DIM:] = 0.0
+        return FeatureMap(vector)
+
+
+def extract_features(
+    raster: Raster, box: Box, region_mask: np.ndarray
+) -> FeatureMap:
+    """Feature map for a region of the raster.
+
+    ``region_mask`` is a boolean (H, W) array of the region's visible
+    pixels (the connected component the detector found).
+    """
+    vector = np.zeros(FEATURE_DIM, dtype=np.float32)
+
+    # geometry: normalized x, y, w, h, area fraction, visibility
+    visible = int(region_mask.sum())
+    vector[0] = box.x / CANVAS
+    vector[1] = box.y / CANVAS
+    vector[2] = box.w / CANVAS
+    vector[3] = box.h / CANVAS
+    vector[4] = box.area / (CANVAS * CANVAS)
+    vector[5] = visible / box.area if box.area else 0.0
+
+    # appearance: hashed histogram of category pixels in the region
+    labels = raster.labels[region_mask]
+    if labels.size:
+        hist = np.bincount(labels % APPEARANCE_DIM,
+                           minlength=APPEARANCE_DIM).astype(np.float32)
+        vector[GEOMETRY_DIM:GEOMETRY_DIM + APPEARANCE_DIM] = \
+            hist / labels.size
+
+    # interaction: pooled per-object signals weighted by pixel ownership
+    instances = raster.instances[region_mask]
+    owners = instances[instances >= 0]
+    if owners.size:
+        counts = np.bincount(owners, minlength=raster.subject_signals.shape[0])
+        weights = counts / owners.size
+        start = GEOMETRY_DIM + APPEARANCE_DIM
+        vector[start:start + len(RELATIONS)] = \
+            weights @ raster.subject_signals
+        vector[start + len(RELATIONS):] = weights @ raster.object_signals
+
+    return FeatureMap(vector)

@@ -1,0 +1,87 @@
+"""SGG evaluation: mean Recall@K (mR@K), the Table V metric.
+
+A ground-truth triple (subject box+label, predicate, object box+label)
+counts as recalled at K when some triple among the K highest-scoring
+predictions matches it: both endpoint boxes overlap their ground-truth
+boxes at IoU >= 0.5, both labels match, and the predicate matches.
+Recall is computed per predicate class and averaged over the classes
+that occur in ground truth — the mean protects tail classes from being
+drowned by "on"/"near", which is exactly what TDE is supposed to help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.scene import SyntheticScene, iou
+from repro.vision.scene_graph import SceneGraphResult
+
+IOU_THRESHOLD = 0.5
+
+
+@dataclass
+class RecallCounts:
+    """Per-class hit/total counters."""
+
+    hits: dict[str, int]
+    totals: dict[str, int]
+
+    def mean_recall(self) -> float:
+        """mR: average per-class recall over classes with ground truth."""
+        recalls = [
+            self.hits.get(predicate, 0) / total
+            for predicate, total in self.totals.items()
+            if total > 0
+        ]
+        return sum(recalls) / len(recalls) if recalls else 0.0
+
+
+def evaluate_scene(
+    result: SceneGraphResult,
+    scene: SyntheticScene,
+    k: int,
+    counts: RecallCounts,
+) -> None:
+    """Accumulate recall@k counts for one scene into ``counts``."""
+    top = result.ranked_triples[:k]
+    for gt in scene.relations:
+        gt_subject = scene.objects[gt.src]
+        gt_object = scene.objects[gt.dst]
+        counts.totals[gt.predicate] = counts.totals.get(gt.predicate, 0) + 1
+        for predicted in top:
+            if predicted.predicate != gt.predicate:
+                continue
+            det_subject = result.detections[predicted.src]
+            det_object = result.detections[predicted.dst]
+            if det_subject.label != gt_subject.category:
+                continue
+            if det_object.label != gt_object.category:
+                continue
+            if iou(det_subject.box, gt_subject.box) < IOU_THRESHOLD:
+                continue
+            if iou(det_object.box, gt_object.box) < IOU_THRESHOLD:
+                continue
+            counts.hits[gt.predicate] = counts.hits.get(gt.predicate, 0) + 1
+            break
+
+
+def mean_recall_at(
+    results: list[SceneGraphResult],
+    scenes: list[SyntheticScene],
+    ks: tuple[int, ...] = (20, 50, 100),
+) -> dict[int, float]:
+    """mR@K over a dataset, for each K.
+
+    ``results[i]`` must correspond to ``scenes[i]``.
+    """
+    if len(results) != len(scenes):
+        raise ValueError(
+            f"got {len(results)} results for {len(scenes)} scenes"
+        )
+    output: dict[int, float] = {}
+    for k in ks:
+        counts = RecallCounts(hits={}, totals={})
+        for result, scene in zip(results, scenes):
+            evaluate_scene(result, scene, k, counts)
+        output[k] = counts.mean_recall()
+    return output

@@ -1,0 +1,153 @@
+"""Scene graphs and the SGG pipeline orchestration (§III-A).
+
+``SGGPipeline`` turns a synthetic scene into a
+:class:`SceneGraphResult`: render -> detect -> score candidate pairs ->
+keep the strongest relations.  The result carries both the kept edges
+(what the aggregator merges into ``G_mg``) and the full ranked triple
+list (what the mR@K evaluation consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simtime import SimClock
+from repro.synth.relations import RELATIONS
+from repro.synth.scene import SyntheticScene
+from repro.vision.detector import Detection, SimulatedDetector
+from repro.vision.relation import RelationPredictor, candidate_pairs
+from repro.vision.tde import tde_scores
+
+
+@dataclass(frozen=True)
+class PredictedRelation:
+    """One predicted scene-graph edge ``r_ij``."""
+
+    src: int        # detection index
+    dst: int        # detection index
+    predicate: str
+    score: float
+
+
+@dataclass
+class SceneGraphResult:
+    """The scene graph ``G_sg(I)`` for one image."""
+
+    image_id: int
+    detections: list[Detection]
+    relations: list[PredictedRelation]
+    ranked_triples: list[PredictedRelation] = field(default_factory=list)
+
+    @property
+    def categories(self) -> list[str]:
+        return [d.label for d in self.detections]
+
+
+@dataclass
+class SGGConfig:
+    """Scene-graph generation knobs."""
+
+    use_tde: bool = True
+    max_pairs: int = 48
+    predicates_per_pair: int = 3     # candidates emitted per pair for ranking
+    keep_per_detection: float = 3.0  # kept edges <= n_detections * this
+    min_keep: int = 4
+    keep_min_score: float = 0.05     # per-pair argmax below this is noise
+
+
+#: score assigned to geometry-fallback edges: above keep_min_score but
+#: below any confident TDE prediction
+GEOMETRY_FALLBACK_SCORE = 0.08
+
+
+def _geometry_fallback(subject, obj) -> PredictedRelation | None:
+    from repro.synth.scene import spatial_relation
+    from repro.vision.relation import _GeometryShim
+
+    predicate = spatial_relation(_GeometryShim(subject),
+                                 _GeometryShim(obj))
+    if predicate is None:
+        return None
+    return PredictedRelation(subject.index, obj.index, predicate,
+                             GEOMETRY_FALLBACK_SCORE)
+
+
+class SGGPipeline:
+    """Scene-graph generation: detector + relation predictor (+ TDE)."""
+
+    def __init__(
+        self,
+        detector: SimulatedDetector,
+        predictor: RelationPredictor,
+        config: SGGConfig | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.detector = detector
+        self.predictor = predictor
+        self.config = config or SGGConfig()
+        self.clock = clock
+
+    def run(self, scene: SyntheticScene) -> SceneGraphResult:
+        """Generate the scene graph for one scene."""
+        if self.clock is not None:
+            self.clock.charge("detector_forward")
+            self.clock.charge("relation_forward")
+        raster = scene.render()
+        detections = self.detector.detect(raster, scene.image_id)
+        triples: list[PredictedRelation] = []
+        best_per_pair: list[PredictedRelation] = []
+        for subject, obj in candidate_pairs(detections,
+                                            self.config.max_pairs):
+            if self.config.use_tde:
+                scores = tde_scores(self.predictor, subject, obj,
+                                    scene.image_id)
+            else:
+                scores = self.predictor.pair_probabilities(
+                    subject, obj, scene.image_id
+                )
+            # standard SGG ranking emits several predicate candidates
+            # per pair; the top one is the pair's argmax (Eq. 3)
+            order = np.argsort(scores)[::-1][:self.config.predicates_per_pair]
+            pair_best: PredictedRelation | None = None
+            for rank, class_index in enumerate(order):
+                relation = PredictedRelation(
+                    subject.index, obj.index, RELATIONS[int(class_index)],
+                    float(scores[int(class_index)]),
+                )
+                triples.append(relation)
+                if rank == 0:
+                    pair_best = relation
+            if self.config.use_tde and pair_best is not None and \
+                    pair_best.score < self.config.keep_min_score:
+                # TDE found no direct visual effect for this pair:
+                # ubiquitous predicates have none.  The unmasked
+                # geometry (boxes + depth estimates are never masked)
+                # still supports a spatial predicate, so fall back to it
+                # — this is why the merged graph keeps its near/on edges
+                fallback = _geometry_fallback(subject, obj)
+                if fallback is not None:
+                    pair_best = fallback
+                    triples.append(fallback)
+            if pair_best is not None:
+                best_per_pair.append(pair_best)
+        triples.sort(key=lambda t: -t.score)
+        best_per_pair.sort(key=lambda t: -t.score)
+        # Eq. 3 keeps the argmax relation of every pair; pairs whose
+        # best score is indistinguishable from noise are dropped, and a
+        # density cap keeps merged-graph degree realistic
+        keep = max(self.config.min_keep,
+                   int(len(detections) * self.config.keep_per_detection))
+        kept = [r for r in best_per_pair
+                if r.score >= self.config.keep_min_score][:keep]
+        return SceneGraphResult(
+            image_id=scene.image_id,
+            detections=detections,
+            relations=kept,
+            ranked_triples=triples,
+        )
+
+    def run_many(self, scenes: list[SyntheticScene]) -> list[SceneGraphResult]:
+        """Generate scene graphs for a batch of scenes."""
+        return [self.run(scene) for scene in scenes]

@@ -1,0 +1,167 @@
+"""Unit and property tests for LFU/LRU and the key-centric cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cache import (
+    CacheReport,
+    KeyCentricCache,
+    LFUCache,
+    LRUCache,
+    make_cache,
+)
+
+
+class TestLFU:
+    def test_get_miss_returns_none(self):
+        cache = LFUCache(2)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+    def test_put_get(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.get("a")
+        cache.put("c", 3)  # b is least frequently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_frequency_ties_broken_by_recency(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # a and b tie on frequency; a is older
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_capacity_never_exceeded(self):
+        cache = LFUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) <= 3
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = LFUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            LFUCache(-1)
+
+    def test_update_existing_key(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")      # refresh a
+        cache.put("c", 3)   # b is least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_capacity_never_exceeded(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) <= 3
+
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("z")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestFactoryAndProperties:
+    def test_make_cache(self):
+        assert isinstance(make_cache("lfu", 2), LFUCache)
+        assert isinstance(make_cache("lru", 2), LRUCache)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_cache("fifo", 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers()),
+                    max_size=60),
+           st.integers(1, 8),
+           st.sampled_from(["lfu", "lru"]))
+    def test_capacity_invariant(self, operations, capacity, policy):
+        cache = make_cache(policy, capacity)
+        for key, value in operations:
+            cache.put(key, value)
+            assert len(cache) <= capacity
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40),
+           st.sampled_from(["lfu", "lru"]))
+    def test_last_put_always_retrievable(self, keys, policy):
+        cache = make_cache(policy, 3)
+        for key in keys:
+            cache.put(key, key * 10)
+            assert cache.get(key) == key * 10
+
+
+class TestKeyCentric:
+    def test_scope_and_path_independent(self):
+        cache = KeyCentricCache.create(pool_size=4)
+        cache.put_scope("k", [1])
+        cache.put_path("k", [2])
+        assert cache.get_scope("k") == [1]
+        assert cache.get_path("k") == [2]
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = KeyCentricCache.disabled()
+        cache.put_scope("k", [1])
+        cache.put_path("k", [2])
+        assert cache.get_scope("k") is None
+        assert cache.get_path("k") is None
+
+    def test_granularity_flags(self):
+        cache = KeyCentricCache.create(pool_size=4, enabled_scope=True,
+                                       enabled_path=False)
+        cache.put_scope("k", [1])
+        cache.put_path("k", [2])
+        assert cache.get_scope("k") == [1]
+        assert cache.get_path("k") is None
+
+    def test_item_count(self):
+        cache = KeyCentricCache.create(pool_size=4)
+        cache.put_scope("a", 1)
+        cache.put_path("b", 2)
+        assert cache.item_count == 2
+
+    def test_report(self):
+        cache = KeyCentricCache.create(pool_size=4)
+        cache.put_scope("a", 1)
+        cache.get_scope("a")
+        cache.get_scope("z")
+        report = CacheReport.from_cache(cache)
+        assert report.scope_hits == 1
+        assert report.scope_misses == 1

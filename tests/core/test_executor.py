@@ -1,0 +1,267 @@
+"""Unit tests for the QueryGraphExecutor (Algorithm 3).
+
+Uses a hand-built merged graph so every behaviour is fully controlled:
+no detector noise, known instances, known relations.
+"""
+
+import pytest
+
+from repro.core import (
+    ExecutorConfig,
+    KeyCentricCache,
+    MergedGraph,
+    QueryGraphExecutor,
+    QuestionType,
+    generate_query_graph,
+)
+from repro.core.aggregator import MergeStats
+from repro.dataset.kg import INSTANCE_OF, IS_A, build_movie_kg
+from repro.graph import Graph
+from repro.simtime import SimClock
+
+
+def make_merged():
+    """A small, fully hand-specified merged graph.
+
+    Images:
+      0: dog standing on grass; fence near grass
+      1: dog carrying bird
+      2: cat sitting on sofa
+      3: dog standing on grass
+    KG: commonsense + movie entities.
+    """
+    kg = build_movie_kg()
+    graph = Graph(name="merged")
+    for vertex in kg.vertices():
+        graph.add_vertex(vertex.label, vertex.props, vertex_id=vertex.id)
+    for edge in kg.edges():
+        graph.add_edge(edge.src, edge.dst, edge.label, edge.props)
+    concepts = {v.label: v.id for v in graph.vertices()}
+    instances = []
+
+    def instance(label, image_id):
+        v = graph.add_vertex(label, {"kind": "instance",
+                                     "image_id": image_id})
+        graph.add_edge(v.id, concepts[label], INSTANCE_OF)
+        instances.append(v.id)
+        return v
+
+    def relate(src, dst, predicate, image_id):
+        graph.add_edge(src.id, dst.id, predicate, {"image_id": image_id})
+
+    dog0 = instance("dog", 0)
+    grass0 = instance("grass", 0)
+    fence0 = instance("fence", 0)
+    relate(dog0, grass0, "standing on", 0)
+    relate(fence0, grass0, "near", 0)
+
+    dog1 = instance("dog", 1)
+    bird1 = instance("bird", 1)
+    relate(dog1, bird1, "carrying", 1)
+
+    cat2 = instance("cat", 2)
+    sofa2 = instance("sofa", 2)
+    relate(cat2, sofa2, "sitting on", 2)
+
+    dog3 = instance("dog", 3)
+    grass3 = instance("grass", 3)
+    relate(dog3, grass3, "standing on", 3)
+
+    stats = MergeStats({}, [], 0.0, 0.0, 0, 0, 0)
+    return MergedGraph(graph=graph, stats=stats, instance_ids=instances)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return QueryGraphExecutor(make_merged())
+
+
+class TestMatchVertex:
+    def test_exact_label(self, executor):
+        graph = generate_query_graph("Is there a dog near the fence?")
+        term = graph.vertices[0].subject
+        matches = executor.match_vertex(term)
+        labels = {v.label for v in matches}
+        assert labels == {"dog"}
+
+    def test_plural_resolves(self, executor):
+        matches = executor.match_vertex_label("dogs")
+        assert all(v.label == "dog" for v in matches)
+        assert any(v.props.get("kind") == "instance" for v in matches)
+
+    def test_hypernym_expansion(self, executor):
+        matches = executor.match_vertex_label("pet")
+        labels = {v.label for v in matches}
+        # concept pet + hyponym concepts + their instances
+        assert {"pet", "dog", "cat", "bird"} <= labels
+
+    def test_synonym_non_category(self, executor):
+        matches = executor.match_vertex_label("puppy")
+        assert any(v.label == "dog" for v in matches)
+
+    def test_category_does_not_bleed(self, executor):
+        # "cat" must not match "dog" instances via any fuzzy path
+        matches = executor.match_vertex_label("cat")
+        assert all(v.label in {"cat", "kitten", "feline"}
+                   for v in matches)
+
+    def test_possessive_resolution(self, executor):
+        graph = generate_query_graph(
+            "What kind of clothes are worn by the wizard who is hanging "
+            "out with Harry Potter's girlfriend?"
+        )
+        condition = graph.vertices[1]
+        matches = executor.match_vertex(condition.object)
+        labels = {v.label for v in matches}
+        assert "Ginny Weasley" in labels
+        assert "Cho Chang" in labels
+
+
+class TestExecution:
+    def test_judgment_yes(self, executor):
+        graph = generate_query_graph(
+            "Does the dog that is standing on the grass appear near the "
+            "fence?"
+        )
+        # note: 'near' edge is fence->grass, dog->fence has no edge: the
+        # executor looks for dog--near-->fence which does not exist
+        answer = executor.execute(graph)
+        assert answer.value in {"yes", "no"}
+
+    def test_judgment_existential_yes(self, executor):
+        graph = generate_query_graph("Is there a fence near the grass?")
+        answer = executor.execute(graph)
+        assert answer.value == "yes"
+
+    def test_judgment_no_for_absent_relation(self, executor):
+        graph = generate_query_graph("Is there a cat near the grass?")
+        answer = executor.execute(graph)
+        assert answer.value == "no"
+
+    def test_reasoning_cross_image(self, executor):
+        # Example 7: condition in image 0/3, answer evidence in image 1
+        graph = generate_query_graph(
+            "What kind of animals is carried by the pets that are "
+            "standing on the grass?"
+        )
+        answer = executor.execute(graph)
+        assert answer.value == "bird"
+        assert answer.supporting_images == [1]
+
+    def test_counting_instances(self, executor):
+        graph = generate_query_graph(
+            "How many dogs are standing on the grass?"
+        )
+        answer = executor.execute(graph)
+        assert answer.value == "2"
+        assert answer.question_type is QuestionType.COUNTING
+
+    def test_judgment_identity(self, executor):
+        graph = generate_query_graph(
+            "Is the animal that is sitting on the sofa a cat?"
+        )
+        answer = executor.execute(graph)
+        assert answer.value == "yes"
+
+    def test_judgment_identity_negative(self, executor):
+        graph = generate_query_graph(
+            "Is the animal that is sitting on the sofa a dog?"
+        )
+        answer = executor.execute(graph)
+        assert answer.value == "no"
+
+    def test_answers_deterministic(self, executor):
+        graph = generate_query_graph(
+            "How many dogs are standing on the grass?"
+        )
+        assert executor.execute(graph).value == \
+            executor.execute(graph).value
+
+
+class TestFlagshipQuestion:
+    """The paper's Example 1, over a merged graph with named instances."""
+
+    @pytest.fixture(scope="class")
+    def movie_executor(self):
+        merged = make_merged()
+        graph = merged.graph
+        concepts = {v.label: v.id for v in graph.vertices()
+                    if v.props.get("kind") in {"concept", "entity"}}
+
+        def named(name, image_id):
+            v = graph.add_vertex(name, {"kind": "instance",
+                                        "image_id": image_id})
+            graph.add_edge(v.id, concepts[name], INSTANCE_OF)
+            return v
+
+        def item(label, image_id):
+            v = graph.add_vertex(label, {"kind": "instance",
+                                         "image_id": image_id})
+            graph.add_edge(v.id, concepts[label], INSTANCE_OF)
+            return v
+
+        # Neville appears with Ginny in images 10 and 11, wearing a robe
+        # in image 12; Draco appears with Cho once, wearing a coat.
+        for image_id in (10, 11):
+            neville = named("Neville Longbottom", image_id)
+            ginny = named("Ginny Weasley", image_id)
+            graph.add_edge(neville.id, ginny.id, "hanging out with",
+                           {"image_id": image_id})
+        neville12 = named("Neville Longbottom", 12)
+        robe = item("robe", 12)
+        graph.add_edge(neville12.id, robe.id, "wearing", {"image_id": 12})
+        draco = named("Draco Malfoy", 13)
+        cho = named("Cho Chang", 13)
+        graph.add_edge(draco.id, cho.id, "hanging out with",
+                       {"image_id": 13})
+        coat = item("coat", 13)
+        graph.add_edge(draco.id, coat.id, "wearing", {"image_id": 13})
+        return QueryGraphExecutor(merged)
+
+    def test_flagship_answer(self, movie_executor):
+        graph = generate_query_graph(
+            "What kind of clothes are worn by the wizard who is most "
+            "frequently hanging out with Harry Potter's girlfriend?"
+        )
+        answer = movie_executor.execute(graph)
+        # Neville (2 images with Ginny) beats Draco (1 with Cho), and
+        # Neville wears a robe
+        assert answer.value == "robe"
+
+
+class TestCachingConsistency:
+    def test_cache_never_changes_answers(self):
+        questions = [
+            "How many dogs are standing on the grass?",
+            "Is there a fence near the grass?",
+            "What kind of animals is carried by the pets that are "
+            "standing on the grass?",
+            "How many dogs are standing on the grass?",
+        ]
+        merged = make_merged()
+        plain = QueryGraphExecutor(merged)
+        cached = QueryGraphExecutor(
+            merged, cache=KeyCentricCache.create(pool_size=50)
+        )
+        for question in questions:
+            graph = generate_query_graph(question)
+            assert plain.execute(graph).value == \
+                cached.execute(graph).value
+
+    def test_cache_reduces_simulated_time(self):
+        merged = make_merged()
+        question = "How many dogs are standing on the grass?"
+        graph = generate_query_graph(question)
+
+        clock_cold = SimClock()
+        QueryGraphExecutor(merged, clock=clock_cold).execute(graph)
+        QueryGraphExecutor(merged, clock=clock_cold).execute(graph)
+
+        clock_warm = SimClock()
+        executor = QueryGraphExecutor(
+            merged, cache=KeyCentricCache.create(pool_size=50),
+            clock=clock_warm,
+        )
+        executor.execute(graph)
+        executor.execute(graph)
+        assert clock_warm.elapsed < clock_cold.elapsed

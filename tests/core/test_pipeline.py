@@ -1,0 +1,106 @@
+"""Integration tests for the SVQA facade."""
+
+import pytest
+
+from repro.core import SVQA, SVQAConfig, estimate_parallel_latency
+from repro.dataset.kg import build_commonsense_kg
+from repro.errors import QueryError
+from repro.synth import SceneGenerator
+
+
+@pytest.fixture(scope="module")
+def svqa():
+    scenes = SceneGenerator(seed=31).generate_pool(50)
+    system = SVQA(scenes, build_commonsense_kg())
+    system.build()
+    return system
+
+
+class TestBuild:
+    def test_answer_before_build_raises(self):
+        system = SVQA([], build_commonsense_kg())
+        with pytest.raises(QueryError):
+            system.answer("Is there a dog near the fence?")
+
+    def test_unknown_relation_model_raises(self):
+        scenes = SceneGenerator(seed=1).generate_pool(3)
+        system = SVQA(scenes, build_commonsense_kg(),
+                      SVQAConfig(relation_model="gpt-7"))
+        with pytest.raises(QueryError):
+            system.build()
+
+    def test_build_returns_merged_graph(self, svqa):
+        assert svqa.merged is not None
+        assert svqa.merged.graph.vertex_count > 0
+
+
+class TestAnswering:
+    def test_answer_has_latency(self, svqa):
+        answer = svqa.answer("Is there a dog near the fence?")
+        assert answer.latency is not None
+        assert answer.latency > 0
+
+    def test_answer_many_preserves_order(self, svqa):
+        questions = [
+            "Is there a dog near the fence?",
+            "How many dogs are standing on the grass?",
+        ]
+        answers = svqa.answer_many(questions)
+        assert len(answers) == 2
+        assert answers[1].value.isdigit()
+
+    def test_answer_many_matches_single(self, svqa):
+        question = "How many dogs are standing on the grass?"
+        single = svqa.answer(question)
+        batch = svqa.answer_many([question])[0]
+        assert single.value == batch.value
+
+    def test_unparseable_question_degrades_gracefully(self, svqa):
+        answers = svqa.answer_many([
+            "Does the kind of canis that is sitting on the bed appear "
+            "in front of the vehicle?",
+        ])
+        assert answers[0].value == "unknown"
+
+    def test_clock_accumulates(self, svqa):
+        before = svqa.elapsed
+        svqa.answer("Is there a cat near the sofa?")
+        assert svqa.elapsed > before
+
+    def test_cache_report(self, svqa):
+        svqa.answer("Is there a dog near the fence?")
+        svqa.answer("Is there a dog near the fence?")
+        report = svqa.cache_report()
+        assert report.scope_hits > 0
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_off_still_answers(self):
+        scenes = SceneGenerator(seed=32).generate_pool(20)
+        system = SVQA(scenes, build_commonsense_kg(),
+                      SVQAConfig(enable_scheduler=False))
+        system.build()
+        answers = system.answer_many([
+            "Is there a dog near the fence?",
+            "Is there a dog near the fence?",
+        ])
+        assert answers[0].value == answers[1].value
+
+
+class TestParallelEstimate:
+    def test_single_worker_is_sum(self):
+        assert estimate_parallel_latency([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_many_workers_is_max(self):
+        assert estimate_parallel_latency([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_packing(self):
+        # longest-first: [5] vs [3, 2] -> makespan 5
+        assert estimate_parallel_latency([5.0, 3.0, 2.0], 2) == 5.0
+
+    def test_empty(self):
+        assert estimate_parallel_latency([], 4) == 0.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            estimate_parallel_latency([1.0], 0)

@@ -1,0 +1,127 @@
+"""Unit tests for the ground-truth index (the annotation oracle)."""
+
+import pytest
+
+from repro.dataset.groundtruth import GroundTruthIndex, categories_for_word
+from repro.synth import Box, SceneObject, SceneRelation, SyntheticScene
+
+
+@pytest.fixture
+def gt():
+    """Images: 0 dog-carries-bird, 1 dog-on-grass, 2 cat-on-grass x2imgs."""
+    def scene(image_id, spec):
+        objects = []
+        relations = []
+        for i, (category, *_rest) in enumerate(spec["objects"]):
+            objects.append(SceneObject(i, category,
+                                       Box(10 * i, 10, 9, 9), 0.5))
+        for src, predicate, dst in spec["relations"]:
+            relations.append(SceneRelation(src, dst, predicate))
+        return SyntheticScene(image_id, objects, relations)
+
+    scenes = [
+        scene(0, {"objects": [("dog",), ("bird",)],
+                  "relations": [(0, "carrying", 1)]}),
+        scene(1, {"objects": [("dog",), ("grass",)],
+                  "relations": [(0, "standing on", 1)]}),
+        scene(2, {"objects": [("cat",), ("grass",)],
+                  "relations": [(0, "standing on", 1)]}),
+        scene(3, {"objects": [("cat",), ("grass",)],
+                  "relations": [(0, "standing on", 1)]}),
+    ]
+    return GroundTruthIndex(scenes)
+
+
+class TestCategoriesForWord:
+    def test_category_denotes_itself(self):
+        assert categories_for_word("dog") == {"dog"}
+
+    def test_hypernym_expands(self):
+        assert {"dog", "cat", "bird"} <= categories_for_word("pet")
+
+    def test_animal_includes_farm_animals(self):
+        cats = categories_for_word("animal")
+        assert {"dog", "cat", "horse", "cow"} <= cats
+
+    def test_unknown_word_empty(self):
+        assert categories_for_word("spaceship") == set()
+
+
+class TestFind:
+    def test_find_exact(self, gt):
+        triples = gt.find({"dog"}, "carrying", {"bird"})
+        assert len(triples) == 1
+        assert triples[0].image_id == 0
+
+    def test_find_any_object(self, gt):
+        triples = gt.find({"dog"}, "standing on", None)
+        assert len(triples) == 1
+
+    def test_find_none_for_absent(self, gt):
+        assert gt.find({"cat"}, "carrying", None) == []
+
+
+class TestClauseSemantics:
+    def test_condition_labels(self, gt):
+        labels = gt.condition_labels("pet", "standing on", "grass")
+        assert labels == {"dog", "cat"}
+
+    def test_condition_with_most_constraint(self, gt):
+        # cats stand on grass in 2 images, dogs in 1
+        labels = gt.condition_labels("pet", "standing on", "grass",
+                                     constraint="most frequently")
+        assert labels == {"cat"}
+
+    def test_condition_with_least_constraint(self, gt):
+        labels = gt.condition_labels("pet", "standing on", "grass",
+                                     constraint="least frequently")
+        assert labels == {"dog"}
+
+    def test_reasoning_answer(self, gt):
+        answer, support = gt.reasoning_answer({"dog"}, "carrying", "animal")
+        assert answer == "bird"
+        assert [t.image_id for t in support] == [0]
+
+    def test_reasoning_answer_margin(self, gt):
+        answer, _ = gt.reasoning_answer({"dog"}, "carrying", "animal",
+                                        min_support=5)
+        assert answer is None
+
+    def test_counting_answer(self, gt):
+        count, _ = gt.counting_answer("cat", "standing on", {"grass"})
+        assert count == 2
+
+    def test_counting_kinds_ambiguous_band(self, gt):
+        # both dog (1 image) and cat (2 images): cat is in band [2,3]
+        count, _ = gt.counting_kinds_answer("pet", "standing on",
+                                            {"grass"})
+        assert count == -1
+
+    def test_counting_kinds_no_band(self, gt):
+        count, _ = gt.counting_kinds_answer(
+            "pet", "standing on", {"grass"},
+            min_images=1, ambiguous_band=(1, 0),
+        )
+        assert count == 2
+
+    def test_judgment(self, gt):
+        yes, _ = gt.judgment_answer({"dog"}, "carrying", "bird")
+        assert yes
+        no, _ = gt.judgment_answer({"cat"}, "carrying", "bird")
+        assert not no
+
+
+class TestDatasetHelpers:
+    def test_images_mentioning(self, gt):
+        assert gt.images_mentioning({"dog"}) == {0, 1}
+        assert gt.images_mentioning({"pet"}) == {0, 1, 2, 3}
+
+    def test_cooccurrence(self, gt):
+        assert gt.cooccurrence_images({"dog"}, "bird") == {0}
+        assert gt.cooccurrence_images({"cat"}, "bird") == set()
+
+    def test_requires_multiple_images(self, gt):
+        condition = gt.find({"dog"}, "standing on", None)   # image 1
+        main = gt.find({"dog"}, "carrying", None)           # image 0
+        assert gt.requires_multiple_images(condition, main)
+        assert not gt.requires_multiple_images(main, main)

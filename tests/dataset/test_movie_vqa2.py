@@ -1,0 +1,77 @@
+"""Tests for the movie scenario and the modified-VQAv2 builder."""
+
+import pytest
+
+from repro.core import SVQA, SVQAConfig
+from repro.core.spoc import QuestionType
+from repro.dataset.kg import build_movie_kg
+from repro.dataset.movie import build_movie_scenes
+from repro.dataset.vqa2 import DEFAULT_COMPOSITION, build_modified_vqa2
+from repro.vision.detector import DetectorConfig
+
+
+class TestMovieScenes:
+    @pytest.fixture(scope="class")
+    def movie(self):
+        return build_movie_scenes(seed=5)
+
+    def test_annotations_reference_scenes(self, movie):
+        image_ids = {s.image_id for s in movie.scenes}
+        for (image_id, label), name in movie.annotations.items():
+            assert image_id in image_ids
+            assert label in {"man", "woman"}
+            assert name
+
+    def test_hangout_relations_present(self, movie):
+        hangouts = [
+            r for s in movie.scenes for r in s.relations
+            if r.predicate == "hanging out with"
+        ]
+        assert len(hangouts) == 5
+
+    def test_wardrobe_scenes(self, movie):
+        wearing = [
+            r for s in movie.scenes for r in s.relations
+            if r.predicate == "wearing"
+        ]
+        assert len(wearing) == 3
+
+    def test_deterministic(self):
+        a = build_movie_scenes(seed=5)
+        b = build_movie_scenes(seed=5)
+        assert a.annotations == b.annotations
+
+    def test_flagship_question_end_to_end(self, movie):
+        config = SVQAConfig(
+            detector=DetectorConfig(label_noise=0.0, miss_rate=0.0),
+        )
+        svqa = SVQA(movie.scenes, build_movie_kg(), config,
+                    annotations=movie.annotations)
+        svqa.build()
+        answer = svqa.answer(movie.flagship_question)
+        assert answer.value == movie.flagship_answer
+
+
+class TestModifiedVQA2:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_modified_vqa2(seed=77, image_count=300,
+                                   composition={
+                                       QuestionType.JUDGMENT: 10,
+                                       QuestionType.COUNTING: 6,
+                                       QuestionType.REASONING: 10,
+                                   })
+
+    def test_composition(self, dataset):
+        assert len(dataset.questions_of_type(QuestionType.JUDGMENT)) == 10
+        assert len(dataset.questions_of_type(QuestionType.COUNTING)) == 6
+        assert len(dataset.questions_of_type(QuestionType.REASONING)) == 10
+
+    def test_all_two_clause(self, dataset):
+        assert all(q.clause_count == 2 for q in dataset.questions)
+
+    def test_answers_present(self, dataset):
+        assert all(q.answer for q in dataset.questions)
+
+    def test_default_composition_counts(self):
+        assert sum(DEFAULT_COMPOSITION.values()) == 110

@@ -1,0 +1,111 @@
+"""Integration tests for the MVQA builder (small scale for speed)."""
+
+import pytest
+
+from repro.core.spoc import QuestionType
+from repro.dataset.mvqa import (
+    COMPOSITION,
+    MVQADataset,
+    build_mvqa,
+    mvqa_image_filter,
+)
+from repro.dataset.stats import average_clause_count, table2_breakdown
+from repro.errors import DatasetError
+from repro.synth import Box, SceneObject, SyntheticScene
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_mvqa(seed=5, pool_size=1_500, image_count=500)
+
+
+class TestImageFilter:
+    def test_rejects_single_object(self):
+        scene = SyntheticScene(
+            0, [SceneObject(0, "dog", Box(0, 0, 10, 10), 0.5)], []
+        )
+        assert not mvqa_image_filter(scene)
+
+    def test_rejects_without_mvqa_group(self):
+        objects = [
+            SceneObject(0, "grass", Box(0, 0, 60, 60), 0.9),
+            SceneObject(1, "tree", Box(60, 0, 30, 40), 0.8),
+        ]
+        assert not mvqa_image_filter(SyntheticScene(0, objects, []))
+
+    def test_accepts_multi_object_with_group(self):
+        objects = [
+            SceneObject(0, "dog", Box(0, 0, 10, 10), 0.5),
+            SceneObject(1, "grass", Box(0, 20, 60, 60), 0.9),
+        ]
+        assert mvqa_image_filter(SyntheticScene(0, objects, []))
+
+
+class TestBuild:
+    def test_image_count(self, dataset):
+        assert dataset.image_count == 500
+        assert [s.image_id for s in dataset.scenes] == list(range(500))
+
+    def test_question_composition(self, dataset):
+        for qtype, (count, two, three) in COMPOSITION.items():
+            questions = dataset.questions_of_type(qtype)
+            assert len(questions) == count
+            clauses = sorted(q.clause_count for q in questions)
+            assert clauses.count(2) == two
+            assert clauses.count(3) == three
+
+    def test_clause_average(self, dataset):
+        assert 2.0 <= average_clause_count(dataset) <= 2.4
+
+    def test_constraint_count(self, dataset):
+        assert sum(q.has_constraint for q in dataset.questions) == 40
+
+    def test_every_answer_nonempty(self, dataset):
+        for question in dataset.questions:
+            assert question.answer
+
+    def test_counting_answers_numeric(self, dataset):
+        for question in dataset.questions_of_type(QuestionType.COUNTING):
+            assert question.answer.isdigit()
+            assert int(question.answer) >= 1
+
+    def test_judgment_answers_yes_no(self, dataset):
+        answers = {q.answer for q in
+                   dataset.questions_of_type(QuestionType.JUDGMENT)}
+        assert answers <= {"yes", "no"}
+        assert "yes" in answers and "no" in answers
+
+    def test_non_exotic_questions_parse(self, dataset):
+        from repro.core import generate_query_graph
+
+        for question in dataset.questions:
+            if not question.exotic:
+                generate_query_graph(question.text)  # must not raise
+
+    def test_exotic_questions_marked(self, dataset):
+        exotic = [q for q in dataset.questions if q.exotic]
+        assert len(exotic) == 3
+        assert all("canis" in q.text for q in exotic)
+
+    def test_questions_unique(self, dataset):
+        texts = [q.text for q in dataset.questions]
+        assert len(texts) == len(set(texts))
+
+    def test_deterministic(self):
+        a = build_mvqa(seed=9, pool_size=1_500, image_count=500)
+        b = build_mvqa(seed=9, pool_size=1_500, image_count=500)
+        assert [q.text for q in a.questions] == [q.text for q in b.questions]
+        assert [q.answer for q in a.questions] == \
+            [q.answer for q in b.questions]
+
+    def test_insufficient_pool_raises(self):
+        with pytest.raises(DatasetError):
+            build_mvqa(seed=1, pool_size=50, image_count=500)
+
+
+class TestStats:
+    def test_table2_rows(self, dataset):
+        rows = table2_breakdown(dataset)
+        assert [r.questions for r in rows] == [40, 16, 44]
+        assert all(r.unique_spos > 0 for r in rows)
+        assert all(r.avg_images > 0 for r in rows)

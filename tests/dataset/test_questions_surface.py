@@ -1,0 +1,58 @@
+"""Unit tests for question surface realization."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.groundtruth import GroundTruthIndex
+from repro.dataset.questions import QuestionGenerator
+from repro.synth import Box, SceneObject, SceneRelation, SyntheticScene
+
+
+@pytest.fixture
+def generator():
+    scene = SyntheticScene(
+        0,
+        [SceneObject(0, "dog", Box(0, 0, 10, 10), 0.5),
+         SceneObject(1, "grass", Box(0, 20, 60, 60), 0.9)],
+        [SceneRelation(0, 1, "standing on")],
+    )
+    return QuestionGenerator(GroundTruthIndex([scene]),
+                             np.random.default_rng(0))
+
+
+class TestSurfaceForms:
+    def test_passive_regular(self, generator):
+        assert generator._passive("carrying") == "carried by"
+
+    def test_passive_irregular(self, generator):
+        assert generator._passive("wearing") == "worn by"
+
+    def test_passive_multiword(self, generator):
+        assert generator._passive("looking out of") == "looked out of by"
+
+    def test_relative_singular(self, generator):
+        text = generator._relative("standing on", "grass", False)
+        assert text == "that is standing on the grass"
+
+    def test_relative_plural(self, generator):
+        text = generator._relative("standing on", "grass", True)
+        assert text == "that are standing on the grass"
+
+    def test_relative_with_constraint(self, generator):
+        text = generator._relative("standing on", "grass", False,
+                                   "most frequently")
+        assert text == "that is most frequently standing on the grass"
+
+    def test_plural_helper(self, generator):
+        assert generator._plural("man") == "men"
+        assert generator._plural("dog") == "dogs"
+
+
+class TestParseValidation:
+    def test_valid_text_parses(self, generator):
+        assert generator._parses(
+            "Is there a dog near the fence?"
+        )
+
+    def test_invalid_text_rejected(self, generator):
+        assert not generator._parses("canis canis")

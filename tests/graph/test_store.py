@@ -1,0 +1,109 @@
+"""Unit tests for graph persistence and statistics."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.graph import Graph, graph_stats, load_graph, save_graph
+
+
+@pytest.fixture
+def sample():
+    g = Graph(name="sample")
+    a = g.add_vertex("dog", {"image_id": 1})
+    b = g.add_vertex("man")
+    g.add_vertex("dog")
+    g.add_edge(a.id, b.id, "in front of", {"score": 0.9})
+    return g
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self, sample, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph(sample, path)
+        loaded = load_graph(path)
+        assert loaded.name == "sample"
+        assert loaded.vertex_count == sample.vertex_count
+        assert loaded.edge_count == sample.edge_count
+        assert loaded.vertex(0).props == {"image_id": 1}
+        edge = next(iter(loaded.edges()))
+        assert edge.label == "in front of"
+        assert edge.props == {"score": 0.9}
+
+    def test_round_trip_preserves_label_index(self, sample, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph(sample, path)
+        loaded = load_graph(path)
+        assert len(loaded.find_vertices("dog")) == 2
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_graph(Graph(name="e"), path)
+        loaded = load_graph(path)
+        assert loaded.vertex_count == 0
+        assert loaded.name == "e"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_graph(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "z.jsonl"
+        path.write_text("")
+        with pytest.raises(StoreError):
+            load_graph(path)
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(StoreError):
+            load_graph(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "noheader.jsonl"
+        path.write_text(json.dumps({"type": "vertex", "id": 0, "label": "x"}) + "\n")
+        with pytest.raises(StoreError):
+            load_graph(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        path.write_text(json.dumps({"type": "header", "version": 9}) + "\n")
+        with pytest.raises(StoreError):
+            load_graph(path)
+
+    def test_unknown_record_type(self, tmp_path):
+        path = tmp_path / "weird.jsonl"
+        lines = [
+            json.dumps({"type": "header", "version": 1, "name": "x"}),
+            json.dumps({"type": "mystery"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreError):
+            load_graph(path)
+
+
+class TestStats:
+    def test_stats_counts(self, sample):
+        stats = graph_stats(sample)
+        assert stats.vertex_count == 3
+        assert stats.edge_count == 1
+        assert stats.vertex_label_count == 2
+        assert stats.top_vertex_labels[0] == ("dog", 2)
+
+    def test_stats_empty_graph(self):
+        stats = graph_stats(Graph())
+        assert stats.vertex_count == 0
+        assert stats.max_out_degree == 0
+
+    def test_stats_degrees(self):
+        g = Graph()
+        hub = g.add_vertex("hub").id
+        for i in range(3):
+            leaf = g.add_vertex(f"l{i}").id
+            g.add_edge(hub, leaf, "spoke")
+        stats = graph_stats(g)
+        assert stats.max_out_degree == 3
+        assert stats.max_in_degree == 1

@@ -1,0 +1,91 @@
+"""Unit and property tests for Levenshtein distance."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import levenshtein, normalized_levenshtein, within_distance
+
+WORDS = st.text(alphabet="abcdefg", max_size=12)
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("dog", "dog") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("dog", "dig") == 1
+
+    def test_insertion(self):
+        assert levenshtein("dog", "dogs") == 1
+
+    def test_deletion(self):
+        assert levenshtein("dogs", "dog") == 1
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "dog") == 3
+        assert levenshtein("dog", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+
+class TestLevenshteinProperties:
+    @given(WORDS, WORDS)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(WORDS)
+    def test_identity_property(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(WORDS, WORDS)
+    def test_bounded_by_longer(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(WORDS, WORDS)
+    def test_lower_bound_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(WORDS, WORDS, WORDS)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNormalized:
+    def test_identity_zero(self):
+        assert normalized_levenshtein("dog", "dog") == 0.0
+
+    def test_in_unit_interval(self):
+        value = normalized_levenshtein("dog", "elephant")
+        assert 0.0 < value <= 1.0
+
+    @given(WORDS, WORDS)
+    def test_always_in_unit_interval(self, a, b):
+        value = normalized_levenshtein(a, b)
+        assert 0.0 <= value <= 1.0
+
+    @given(WORDS, WORDS)
+    def test_symmetry(self, a, b):
+        assert normalized_levenshtein(a, b) == normalized_levenshtein(b, a)
+
+    @given(WORDS, WORDS, WORDS)
+    def test_triangle_inequality(self, a, b, c):
+        # Yujian-Bo normalization preserves the metric property
+        ab = normalized_levenshtein(a, b)
+        bc = normalized_levenshtein(b, c)
+        ac = normalized_levenshtein(a, c)
+        assert ac <= ab + bc + 1e-12
+
+
+class TestWithinDistance:
+    def test_near_match(self):
+        assert within_distance("dog", "dogs", 0.5)
+
+    def test_case_insensitive(self):
+        assert within_distance("Dog", "dog", 0.01)
+
+    def test_far_match_rejected(self):
+        assert not within_distance("dog", "elephant", 0.3)

@@ -1,0 +1,145 @@
+"""Unit tests for the POS tagger."""
+
+from repro.nlp import tag, unknown_word_report
+
+
+def tags_of(text):
+    return [t.tag for t in tag(text)]
+
+
+class TestClosedClasses:
+    def test_determiners(self):
+        assert tags_of("the dog")[0] == "DT"
+
+    def test_wh_words(self):
+        tagged = tag("What kind of clothes")
+        assert tagged[0].tag == "WP"
+
+    def test_how_is_wrb(self):
+        assert tags_of("How many dogs")[0] == "WRB"
+
+    def test_prepositions(self):
+        tagged = tag("the dog in the car")
+        assert tagged[2].tag == "IN"
+
+    def test_possessive_clitic(self):
+        tagged = tag("Harry Potter's girlfriend")
+        assert [t.tag for t in tagged] == ["NNP", "NNP", "POS", "NN"]
+
+
+class TestVerbs:
+    def test_be_forms(self):
+        assert tag("is")[0].tag == "VBZ"
+        assert tag("are worn")[0].tag == "VBP"
+
+    def test_be_lemma(self):
+        assert tag("are")[0].lemma == "be"
+
+    def test_participles(self):
+        tagged = tag("worn by the wizard")
+        assert tagged[0].tag == "VBN"
+        assert tagged[0].lemma == "wear"
+
+    def test_gerund(self):
+        tagged = tag("sitting on the bed")
+        assert tagged[0].tag == "VBG"
+        assert tagged[0].lemma == "sit"
+
+    def test_third_singular(self):
+        tagged = tag("the dog carries a bird")
+        assert tagged[2].tag == "VBZ"
+        assert tagged[2].lemma == "carry"
+
+    def test_was_held_becomes_vbn(self):
+        # 'held' is VBN-preferred; after 'was' it must be VBN
+        tagged = tag("the frisbee was held by the dog")
+        held = [t for t in tagged if t.text == "held"][0]
+        assert held.tag == "VBN"
+
+
+class TestNouns:
+    def test_plural(self):
+        tagged = tag("the dogs")
+        assert tagged[1].tag == "NNS"
+        assert tagged[1].lemma == "dog"
+
+    def test_irregular_plural(self):
+        tagged = tag("the men")
+        assert tagged[1].tag == "NNS"
+        assert tagged[1].lemma == "man"
+
+    def test_proper_noun(self):
+        tagged = tag("Harry met the wizard")
+        assert tagged[0].tag == "NNP"
+
+    def test_clothes_is_plural_noun(self):
+        tagged = tag("the clothes")
+        assert tagged[1].tag == "NNS"
+
+
+class TestContextualRules:
+    def test_the_watch_is_noun(self):
+        tagged = tag("the watch is red")
+        assert tagged[1].tag == "NN"
+
+    def test_that_before_verb_is_relativizer(self):
+        tagged = tag("the dog that is sitting")
+        that = [t for t in tagged if t.text == "that"][0]
+        assert that.tag == "WDT"
+
+    def test_that_as_determiner(self):
+        tagged = tag("that dog is sitting")
+        assert tagged[0].tag == "DT"
+
+
+class TestUnknownWords:
+    def test_latinate_unknown_is_fw(self):
+        # the Fig. 8(a) failure mode: "canis" -> FW
+        tagged = tag("the kind of canis that is sitting")
+        canis = [t for t in tagged if t.text == "canis"][0]
+        assert canis.tag == "FW"
+
+    def test_unknown_word_report(self):
+        tagged = tag("the kind of canis")
+        assert [t.text for t in unknown_word_report(tagged)] == ["canis"]
+
+    def test_unknown_ing_is_vbg(self):
+        tagged = tag("the dog is zooming")
+        assert tagged[-1].tag == "VBG"
+
+    def test_unknown_ly_is_rb(self):
+        tagged = tag("the dog runs swiftly")
+        assert tagged[-1].tag == "RB"
+
+    def test_unknown_plural_is_nns(self):
+        tagged = tag("the gizmos")
+        assert tagged[1].tag == "NNS"
+
+    def test_unknown_default_nn(self):
+        tagged = tag("the blorp")
+        assert tagged[1].tag == "NN"
+
+    def test_digits_are_cd(self):
+        tagged = tag("more than 3 dogs")
+        three = [t for t in tagged if t.text == "3"][0]
+        assert three.tag == "CD"
+
+
+class TestFullQuestions:
+    def test_flagship_question_tags(self):
+        tagged = tag(
+            "What kind of clothes are worn by the wizard who is most "
+            "frequently hanging out with Harry Potter's girlfriend?"
+        )
+        by_text = {t.text: t.tag for t in tagged}
+        assert by_text["What"] == "WP"
+        assert by_text["worn"] == "VBN"
+        assert by_text["who"] == "WP"
+        assert by_text["most"] == "RBS"
+        assert by_text["frequently"] == "RB"
+        assert by_text["hanging"] == "VBG"
+        assert by_text["'s"] == "POS"
+
+    def test_every_token_gets_one_tag(self):
+        tagged = tag("Does the dog appear in front of the man?")
+        assert all(t.tag for t in tagged)

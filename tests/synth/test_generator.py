@@ -1,0 +1,99 @@
+"""Unit tests for the scene-pool generator."""
+
+import pytest
+
+from repro.synth import (
+    SceneGenerator,
+    SEMANTIC_RELATIONS,
+    TEMPLATES,
+    category_by_name,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_pool(self):
+        a = SceneGenerator(seed=11).generate_pool(20)
+        b = SceneGenerator(seed=11).generate_pool(20)
+        for sa, sb in zip(a, b):
+            assert sa.categories == sb.categories
+            assert [(r.src, r.dst, r.predicate) for r in sa.relations] == \
+                [(r.src, r.dst, r.predicate) for r in sb.relations]
+
+    def test_different_seed_differs(self):
+        a = SceneGenerator(seed=1).generate_pool(30)
+        b = SceneGenerator(seed=2).generate_pool(30)
+        assert any(sa.categories != sb.categories for sa, sb in zip(a, b))
+
+
+class TestPoolShape:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return SceneGenerator(seed=3).generate_pool(100)
+
+    def test_ids_sequential(self, pool):
+        assert [s.image_id for s in pool] == list(range(100))
+
+    def test_scene_sizes_reasonable(self, pool):
+        for scene in pool:
+            assert 2 <= len(scene.objects) <= 10
+
+    def test_every_scene_has_relations(self, pool):
+        assert all(scene.relations for scene in pool)
+
+    def test_semantic_relations_present(self, pool):
+        semantic = sum(
+            1 for s in pool for r in s.relations
+            if r.predicate in SEMANTIC_RELATIONS
+        )
+        assert semantic > 50
+
+    def test_captions_describe_semantics(self, pool):
+        with_caption = [s for s in pool if s.caption]
+        assert len(with_caption) > 80
+        assert all(s.caption.endswith(".") for s in with_caption)
+
+    def test_boxes_inside_canvas(self, pool):
+        for scene in pool:
+            for obj in scene.objects:
+                assert 0 <= obj.box.x < 128
+                assert 0 <= obj.box.y < 128
+                assert obj.box.x2 <= 128
+                assert obj.box.y2 <= 128
+
+
+class TestTemplates:
+    def test_template_slots_use_known_categories(self):
+        for template in TEMPLATES:
+            for slot in template.slots:
+                for category in slot.categories:
+                    category_by_name(category)  # raises on unknown
+
+    def test_template_relations_reference_slots(self):
+        for template in TEMPLATES:
+            slot_names = {slot.name for slot in template.slots}
+            for src, _, dst in template.relations:
+                assert src in slot_names
+                assert dst in slot_names
+
+    def test_each_template_generates(self):
+        gen = SceneGenerator(seed=5)
+        for i, template in enumerate(TEMPLATES):
+            scene = gen.generate_from_template(i, template)
+            assert len(scene.objects) >= len(template.slots)
+            asserted = {r.predicate for r in scene.relations}
+            template_predicates = {p for _, p, _ in template.relations}
+            assert template_predicates <= asserted
+
+    def test_semantic_relation_geometry_is_plausible(self):
+        # a held/caught object must be close to its holder
+        from repro.synth.scene import center_distance
+
+        gen = SceneGenerator(seed=9)
+        pool = gen.generate_pool(150)
+        for scene in pool:
+            for relation in scene.relations:
+                if relation.predicate in {"holding", "catching", "carrying"}:
+                    a = scene.objects[relation.src]
+                    b = scene.objects[relation.dst]
+                    scale = max(a.box.w, a.box.h, b.box.w, b.box.h)
+                    assert center_distance(a.box, b.box) < scale * 2.5

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParseCommand:
+    def test_parse_prints_query_graph(self, capsys):
+        code = main(["parse", "Is there a dog near the fence?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "v0" in out
+
+    def test_parse_failure_exits_nonzero(self, capsys):
+        code = main(["parse", "canis canis canis"])
+        assert code == 1
+        assert "parse failed" in capsys.readouterr().err
+
+
+class TestAskCommand:
+    def test_flagship_default(self, capsys):
+        code = main(["ask"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "A: robe" in out
+
+    def test_custom_question(self, capsys):
+        code = main(["ask", "Is there a woman standing on the grass?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "A: " in out
+
+
+class TestStatsCommand:
+    def test_fast_stats(self, capsys):
+        code = main(["stats", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MVQA: 400 images" in out
+        assert "judgment" in out
+
+
+class TestArgumentErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

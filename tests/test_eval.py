@@ -1,0 +1,105 @@
+"""Unit tests for answer scoring and the evaluation harness."""
+
+import pytest
+
+from repro.core.answer import Answer
+from repro.core.spoc import QuestionType
+from repro.eval import (
+    AccuracyReport,
+    answers_match,
+    evaluate,
+    format_table,
+    percentage,
+)
+
+
+class TestAnswersMatch:
+    def test_judgment_exact(self):
+        assert answers_match("yes", "yes", QuestionType.JUDGMENT)
+        assert not answers_match("no", "yes", QuestionType.JUDGMENT)
+
+    def test_judgment_case_insensitive(self):
+        assert answers_match("Yes", "yes", QuestionType.JUDGMENT)
+
+    def test_counting_exact(self):
+        assert answers_match("3", "3", QuestionType.COUNTING)
+        assert not answers_match("4", "3", QuestionType.COUNTING)
+
+    def test_reasoning_exact(self):
+        assert answers_match("dog", "dog", QuestionType.REASONING)
+
+    def test_reasoning_synonym(self):
+        # the §VII example: "puppy" is consistent with "dog"
+        assert answers_match("puppy", "dog", QuestionType.REASONING)
+
+    def test_reasoning_plural(self):
+        assert answers_match("dogs", "dog", QuestionType.REASONING)
+
+    def test_reasoning_unrelated(self):
+        assert not answers_match("fence", "dog", QuestionType.REASONING)
+
+    def test_unknown_never_matches(self):
+        assert not answers_match("unknown", "dog", QuestionType.REASONING)
+
+
+class TestAccuracyReport:
+    def test_accumulates(self):
+        report = AccuracyReport()
+        report.record(QuestionType.JUDGMENT, True)
+        report.record(QuestionType.JUDGMENT, False)
+        report.record(QuestionType.COUNTING, True)
+        assert report.accuracy(QuestionType.JUDGMENT) == 0.5
+        assert report.accuracy(QuestionType.COUNTING) == 1.0
+        assert report.overall == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        report = AccuracyReport()
+        assert report.overall == 0.0
+        assert report.accuracy(QuestionType.JUDGMENT) == 0.0
+
+    def test_as_row_keys(self):
+        row = AccuracyReport().as_row()
+        assert set(row) == {"judgment", "counting", "reasoning", "overall"}
+
+
+class TestEvaluate:
+    def make_questions(self):
+        from repro.dataset.questions import MVQAQuestion
+
+        return [
+            MVQAQuestion("q1", QuestionType.JUDGMENT, "yes", 2, False,
+                         (), (), 10),
+            MVQAQuestion("q2", QuestionType.COUNTING, "3", 2, False,
+                         (), (), 10),
+        ]
+
+    def test_scores_and_latency(self):
+        clock = {"t": 0.0}
+
+        def answer_batch(questions):
+            clock["t"] += 5.0
+            return [Answer(QuestionType.JUDGMENT, "yes"),
+                    Answer(QuestionType.COUNTING, "4")]
+
+        result = evaluate("sys", self.make_questions(), answer_batch,
+                          lambda: clock["t"])
+        assert result.latency == 5.0
+        assert result.report.overall == 0.5
+        assert len(result.failures) == 1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate("sys", self.make_questions(), lambda qs: [],
+                     lambda: 0.0)
+
+
+class TestFormatting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_percentage(self):
+        assert percentage(0.8575) == "85.8%"

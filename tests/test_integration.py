@@ -1,0 +1,71 @@
+"""End-to-end integration tests spanning all subsystems."""
+
+import pytest
+
+from repro.core import SVQA, SVQAConfig
+from repro.core.spoc import QuestionType
+from repro.dataset.mvqa import build_mvqa
+from repro.eval.harness import evaluate
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """A small but complete MVQA build + SVQA system."""
+    dataset = build_mvqa(seed=5, pool_size=1_200, image_count=400)
+    svqa = SVQA(dataset.scenes, dataset.kg)
+    svqa.build()
+    return dataset, svqa
+
+
+class TestEndToEnd:
+    def test_answers_every_question(self, small_world):
+        dataset, svqa = small_world
+        answers = svqa.answer_many([q.text for q in dataset.questions])
+        assert len(answers) == len(dataset.questions)
+        assert all(a.value for a in answers)
+
+    def test_accuracy_well_above_chance(self, small_world):
+        dataset, svqa = small_world
+        result = evaluate("SVQA", dataset.questions, svqa.answer_many,
+                          lambda: svqa.elapsed)
+        # the paper reports 85.8%; any healthy build clears 60% even at
+        # this reduced scale
+        assert result.report.overall > 0.6
+
+    def test_every_type_answerable(self, small_world):
+        dataset, svqa = small_world
+        result = evaluate("SVQA", dataset.questions, svqa.answer_many,
+                          lambda: svqa.elapsed)
+        for qtype in QuestionType:
+            assert result.report.accuracy(qtype) > 0.4
+
+    def test_repeat_batch_same_answers(self, small_world):
+        dataset, svqa = small_world
+        questions = [q.text for q in dataset.questions[:20]]
+        first = [a.value for a in svqa.answer_many(questions)]
+        second = [a.value for a in svqa.answer_many(questions)]
+        assert first == second
+
+    def test_merged_graph_scales_with_images(self, small_world):
+        dataset, svqa = small_world
+        # thousands of instance vertices over 400 images
+        instances = [
+            v for v in svqa.merged.graph.vertices()
+            if v.props.get("kind") == "instance"
+        ]
+        assert len(instances) > 400
+
+    def test_scheduler_and_cache_do_not_change_answers(self, small_world):
+        dataset, _ = small_world
+        questions = [q.text for q in dataset.questions[:25]]
+
+        plain = SVQA(dataset.scenes, dataset.kg, SVQAConfig(
+            enable_scope_cache=False, enable_path_cache=False,
+            enable_scheduler=False,
+        ))
+        plain.build()
+        tuned = SVQA(dataset.scenes, dataset.kg, SVQAConfig())
+        tuned.build()
+
+        assert [a.value for a in plain.answer_many(questions)] == \
+            [a.value for a in tuned.answer_many(questions)]
