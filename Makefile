@@ -1,0 +1,16 @@
+# Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
+
+.PHONY: test lint bench
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed — skipping lint (CI runs it)"; \
+	fi
+
+bench:
+	PYTHONPATH=src python -m pytest benchmarks --benchmark-only -s

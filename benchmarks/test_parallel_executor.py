@@ -1,54 +1,71 @@
 """§V ablation — parallelizing query execution.
 
 The paper notes the executor "features high parallelization": once the
-merged graph is built, queries are independent, so a batch's wall time
-is the makespan over worker lanes.  This bench measures per-query
-simulated latencies and the estimated speedup at several worker counts.
+merged graph is built, queries are independent.  This bench runs the
+100 MVQA query graphs through the real concurrent ``BatchExecutor`` at
+several worker counts and reports, per count, the measured simulated
+makespan (busiest clock shard), the analytical longest-first
+bin-packing estimate (``estimate_parallel_latency``, the ``workers=1``
+fallback model), and the measured wall-clock seconds.
 """
 
-from repro.core import KeyCentricCache, QueryGraphExecutor, \
+from repro.core import BatchExecutor, KeyCentricCache, \
     estimate_parallel_latency
 from repro.eval.harness import format_table
-from repro.simtime import SimClock
 
 WORKERS = (1, 2, 4, 8)
 
 
+def run_workers(merged, graphs, workers):
+    batch = BatchExecutor(
+        merged, cache=KeyCentricCache.create(pool_size=100),
+        workers=workers,
+    )
+    return batch.run(graphs)
+
+
 def test_parallel_speedup(mvqa_svqa, mvqa_query_graphs, benchmark):
     merged = mvqa_svqa.merged
+    graphs = [g for g in mvqa_query_graphs if g is not None]
 
     def run():
-        clock = SimClock()
-        executor = QueryGraphExecutor(
-            merged, cache=KeyCentricCache.create(pool_size=100),
-            clock=clock,
-        )
-        latencies = []
-        for graph in mvqa_query_graphs:
-            if graph is None:
-                continue
-            start = clock.snapshot()
-            executor.execute(graph)
-            latencies.append(start.interval)
-        return latencies
+        return {w: run_workers(merged, graphs, w) for w in WORKERS}
 
-    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
-    serial = sum(latencies)
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = results[1]
     rows = []
     for workers in WORKERS:
-        makespan = estimate_parallel_latency(latencies, workers)
-        rows.append([str(workers), f"{makespan:.2f}",
-                     f"{serial / makespan:.2f}x"])
+        result = results[workers]
+        estimate = estimate_parallel_latency(serial.latencies, workers)
+        rows.append([
+            str(workers),
+            f"{result.simulated_total:.2f}",
+            f"{result.simulated_makespan:.2f}",
+            f"{estimate:.2f}",
+            f"{result.speedup:.2f}x",
+            f"{result.wall_clock:.3f}",
+        ])
     print()
     print(format_table(
-        ["Workers", "Makespan (s)", "Speedup"], rows,
-        title="Parallel query execution — makespan vs worker count",
+        ["Workers", "Sim total (s)", "Makespan (s)", "Estimate (s)",
+         "Speedup", "Wall (s)"],
+        rows,
+        title="Parallel query execution — measured makespan vs the "
+              "analytical estimate",
     ))
 
-    makespans = [estimate_parallel_latency(latencies, w) for w in WORKERS]
-    # more workers never slow the batch down
-    assert all(a >= b for a, b in zip(makespans, makespans[1:]))
-    # near-linear at low counts (queries are comparable in size)
-    assert serial / makespans[1] > 1.6
-    # bounded by the longest single query
-    assert makespans[-1] >= max(latencies)
+    # answers are identical at every worker count
+    serial_values = [a.value for a in serial.answers]
+    for workers in WORKERS[1:]:
+        assert [a.value for a in results[workers].answers] == \
+            serial_values
+
+    # one worker: makespan IS the serial latency
+    assert serial.simulated_makespan == serial.simulated_total
+
+    # concurrency genuinely splits the work across lanes
+    most = results[WORKERS[-1]]
+    assert len(most.shards) > 1
+    assert most.simulated_makespan < serial.simulated_total
+    # bounded below by the longest single query
+    assert most.simulated_makespan >= max(most.latencies)

@@ -4,6 +4,7 @@ Commands
 --------
 ``ask``        answer one question over the movie scenario (Figure 1)
 ``mvqa``       build MVQA and evaluate SVQA on it (Exp-1 / Table III)
+``bench``      concurrent batch benchmark + executor statistics
 ``stats``      print the MVQA dataset statistics (Tables I & II)
 ``parse``      show the query graph for a question (Algorithm 2)
 """
@@ -16,6 +17,15 @@ import sys
 from repro.core import SVQA, SVQAConfig, describe_query_graph, \
     generate_query_graph
 from repro.errors import QueryError
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def _cmd_ask(args: argparse.Namespace) -> int:
@@ -42,16 +52,23 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_mvqa(args: argparse.Namespace) -> int:
+def _build_mvqa_svqa(args: argparse.Namespace) -> tuple:
     from repro.dataset.mvqa import build_mvqa
-    from repro.eval.harness import evaluate, format_table, percentage
 
     if args.fast:
         dataset = build_mvqa(seed=5, pool_size=1_200, image_count=400)
     else:
         dataset = build_mvqa()
-    svqa = SVQA(dataset.scenes, dataset.kg)
+    workers = getattr(args, "workers", 1)
+    svqa = SVQA(dataset.scenes, dataset.kg, SVQAConfig(workers=workers))
     svqa.build()
+    return dataset, svqa
+
+
+def _cmd_mvqa(args: argparse.Namespace) -> int:
+    from repro.eval.harness import evaluate, format_table, percentage
+
+    dataset, svqa = _build_mvqa_svqa(args)
     result = evaluate("SVQA", dataset.questions, svqa.answer_many,
                       lambda: svqa.elapsed)
     row = result.summary()
@@ -61,6 +78,45 @@ def _cmd_mvqa(args: argparse.Namespace) -> int:
           percentage(row["counting"]), percentage(row["reasoning"])]],
     ))
     print(f"overall: {percentage(row['overall'])}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core import estimate_parallel_latency
+    from repro.eval.harness import format_table, percentage
+
+    dataset, svqa = _build_mvqa_svqa(args)
+    svqa.answer_many([q.text for q in dataset.questions],
+                     workers=args.workers)
+    batch = svqa.last_batch
+    estimate = estimate_parallel_latency(batch.latencies, args.workers)
+    print(format_table(
+        ["Workers", "Sim total (s)", "Makespan (s)", "Estimate (s)",
+         "Speedup", "Wall (s)"],
+        [[str(batch.workers), f"{batch.simulated_total:.2f}",
+          f"{batch.simulated_makespan:.2f}", f"{estimate:.2f}",
+          f"{batch.speedup:.2f}x", f"{batch.wall_clock:.3f}"]],
+        title="Concurrent batch execution "
+              f"({len(dataset.questions)} questions)",
+    ))
+    report = svqa.execution_report()
+    stats = report.stats
+    print()
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ["queries executed", str(stats.queries)],
+            ["vertices / query",
+             f"{stats.mean_vertices_per_query:.2f}"],
+            ["scope hit rate", percentage(stats.scope_hit_rate)],
+            ["path hit rate", percentage(stats.path_hit_rate)],
+            ["predicate rejections", str(stats.predicate_rejections)],
+            ["predicate dropouts", str(stats.predicate_dropouts)],
+            ["constraint applications",
+             str(stats.constraint_applications)],
+        ],
+        title="Executor statistics",
+    ))
     return 0
 
 
@@ -116,7 +172,17 @@ def main(argv: list[str] | None = None) -> int:
 
     mvqa = commands.add_parser("mvqa", help="evaluate SVQA on MVQA")
     mvqa.add_argument("--fast", action="store_true")
+    mvqa.add_argument("--workers", type=_positive_int, default=1,
+                      help="worker threads for batch answering")
     mvqa.set_defaults(handler=_cmd_mvqa)
+
+    bench = commands.add_parser(
+        "bench", help="concurrent batch benchmark + executor stats"
+    )
+    bench.add_argument("--fast", action="store_true")
+    bench.add_argument("--workers", type=_positive_int, default=4,
+                       help="worker threads for batch answering")
+    bench.set_defaults(handler=_cmd_bench)
 
     stats = commands.add_parser("stats", help="MVQA dataset statistics")
     stats.add_argument("--fast", action="store_true")

@@ -9,6 +9,7 @@ from repro.core.aggregator import (
     MergeStats,
 )
 from repro.core.answer import Answer, final_answer
+from repro.core.batch import BatchExecutor, BatchResult
 from repro.core.cache import (
     CacheReport,
     EvictingCache,
@@ -19,7 +20,13 @@ from repro.core.cache import (
 )
 from repro.core.clauses import Clause, segment_clauses
 from repro.core.executor import ExecutorConfig, QueryGraphExecutor, VertexResult
-from repro.core.pipeline import SVQA, SVQAConfig, estimate_parallel_latency
+from repro.core.pipeline import (
+    ExecutionReport,
+    SVQA,
+    SVQAConfig,
+    estimate_parallel_latency,
+)
+from repro.core.stats import ExecutorStats, ExecutorStatsReport
 from repro.core.query_graph import (
     describe_query_graph,
     generate_query_graph,
@@ -32,13 +39,18 @@ from repro.core.spoc_extract import CONSTRAINT_WORDS, extract_spoc, validate_spo
 __all__ = [
     "AggregatorConfig",
     "Answer",
+    "BatchExecutor",
+    "BatchResult",
     "CONSTRAINT_WORDS",
     "CacheReport",
     "Clause",
     "DataAggregator",
     "DependencyKind",
     "EvictingCache",
+    "ExecutionReport",
     "ExecutorConfig",
+    "ExecutorStats",
+    "ExecutorStatsReport",
     "KeyCentricCache",
     "LFUCache",
     "LRUCache",

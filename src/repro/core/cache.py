@@ -5,24 +5,39 @@ The executor's two expensive operations are cached:
 * **scope** — ``matchVertex`` results: a term key -> the matched
   merged-graph vertex ids (the full label scan this avoids is the
   "scope" of the paper);
-* **path** — ``getRelationpairs`` results: a (subject-key, predicate,
-  object-key) triple -> the relation pairs (the neighborhood traversal
-  this avoids is the "path").
+* **path** — ``getRelationpairs`` results: a (subject-key, object-key)
+  pair -> the relation pairs (the neighborhood traversal this avoids
+  is the "path").  The predicate is deliberately *not* part of the
+  key: retrieval collects every relation between the two endpoint
+  sets, and predicate filtering (``maxScore``) happens afterwards, so
+  one cached neighborhood serves every predicate over the same
+  endpoints.
 
 Both sit on an evicting store; the paper uses LFU [39] and compares it
 against LRU [47] in Figure 11, so both policies are implemented behind
 one interface.
+
+All stores are thread-safe: every ``get``/``put`` (and the hit/miss
+counters) runs under a per-store lock, and ``KeyCentricCache`` offers
+an atomic get-or-compute so concurrent misses on the same key perform
+the expensive computation exactly once (the other threads wait for the
+leader and receive its value, as a hit).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 
 class EvictingCache:
-    """Interface: a bounded key-value store with an eviction policy."""
+    """Interface: a bounded key-value store with an eviction policy.
+
+    Subclasses must guard every operation with ``self._lock`` so one
+    store can be shared by a pool of worker threads.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -30,6 +45,7 @@ class EvictingCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable) -> Any | None:
         raise NotImplementedError
@@ -58,20 +74,23 @@ class LFUCache(EvictingCache):
         self._last_used: dict[Hashable, int] = {}
 
     def get(self, key: Hashable) -> Any | None:
-        if key not in self._values:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._touch(key)
-        return self._values[key]
+        with self._lock:
+            if key not in self._values:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._touch(key)
+            return self._values[key]
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
-        if key not in self._values and len(self._values) >= self.capacity:
-            self._evict()
-        self._values[key] = value
-        self._touch(key)
+        with self._lock:
+            if key not in self._values and \
+                    len(self._values) >= self.capacity:
+                self._evict()
+            self._values[key] = value
+            self._touch(key)
 
     def _touch(self, key: Hashable) -> None:
         self._clock += 1
@@ -88,7 +107,8 @@ class LFUCache(EvictingCache):
         del self._last_used[victim]
 
     def __len__(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
 
 class LRUCache(EvictingCache):
@@ -99,24 +119,27 @@ class LRUCache(EvictingCache):
         self._values: OrderedDict[Hashable, Any] = OrderedDict()
 
     def get(self, key: Hashable) -> Any | None:
-        if key not in self._values:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._values.move_to_end(key)
-        return self._values[key]
+        with self._lock:
+            if key not in self._values:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._values.move_to_end(key)
+            return self._values[key]
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
-        if key in self._values:
-            self._values.move_to_end(key)
-        elif len(self._values) >= self.capacity:
-            self._values.popitem(last=False)
-        self._values[key] = value
+        with self._lock:
+            if key in self._values:
+                self._values.move_to_end(key)
+            elif len(self._values) >= self.capacity:
+                self._values.popitem(last=False)
+            self._values[key] = value
 
     def __len__(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
 
 def make_cache(policy: str, capacity: int) -> EvictingCache:
@@ -128,18 +151,39 @@ def make_cache(policy: str, capacity: int) -> EvictingCache:
     raise ValueError(f"unknown cache policy: {policy!r}")
 
 
+class _InFlight:
+    """A computation currently running for a cache key (single-flight)."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
 @dataclass
 class KeyCentricCache:
     """The §V-B two-level cache over matchVertex and getRelationpairs.
 
     ``enabled_scope`` / ``enabled_path`` allow the Figure-10(b)
     granularity ablation (No / Scope / Path / Both).
+
+    The ``*_get_or_compute`` methods make miss-then-fill atomic under
+    concurrency: the first thread to miss a key becomes the *leader*
+    and runs the computation; threads that miss the same key while the
+    leader is working wait for its result instead of recomputing, and
+    observe it as a hit (the expensive work happened exactly once).
     """
 
     scope: EvictingCache
     path: EvictingCache
     enabled_scope: bool = True
     enabled_path: bool = True
+    _inflight: dict = field(default_factory=dict, init=False, repr=False)
+    _inflight_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False
+    )
 
     @classmethod
     def create(
@@ -180,6 +224,60 @@ class KeyCentricCache:
     def put_path(self, key: Hashable, value: Any) -> None:
         if self.enabled_path:
             self.path.put(key, value)
+
+    # atomic get-or-compute ------------------------------------------------
+    def scope_get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """``(value, hit)`` for a scope key; computes at most once."""
+        return self._get_or_compute(self.scope, self.enabled_scope,
+                                    key, compute)
+
+    def path_get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """``(value, hit)`` for a path key; computes at most once."""
+        return self._get_or_compute(self.path, self.enabled_path,
+                                    key, compute)
+
+    def _get_or_compute(
+        self,
+        store: EvictingCache,
+        enabled: bool,
+        key: Hashable,
+        compute: Callable[[], Any],
+    ) -> tuple[Any, bool]:
+        if not enabled:
+            return compute(), False
+        value = store.get(key)
+        if value is not None:
+            return value, True
+        # single-flight: scope and path keys share the in-flight table
+        # without colliding because every key is prefix-tagged
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            leader = entry is None
+            if leader:
+                entry = _InFlight()
+                self._inflight[key] = entry
+        if leader:
+            try:
+                value = compute()
+                entry.value = value
+                store.put(key, value)
+            except BaseException as exc:
+                entry.error = exc
+                raise
+            finally:
+                entry.done.set()
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+            return value, False
+        entry.done.wait()
+        if entry.error is not None:
+            # the leader failed; fall back to computing independently
+            return compute(), False
+        return entry.value, True
 
     @property
     def item_count(self) -> int:

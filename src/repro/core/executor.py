@@ -24,7 +24,7 @@ data-dependent cost, which is what the latency experiments measure.
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ExecutionError
 from repro.graph import Graph, RelationPair, Vertex, relations_between
@@ -38,6 +38,7 @@ from repro.core.answer import Answer, final_answer
 from repro.core.cache import KeyCentricCache
 from repro.core.spoc import QueryGraph, SPOC, Term
 from repro.core.spoc_extract import CONSTRAINT_WORDS
+from repro.core.stats import ExecutorStats
 from repro.dataset.kg import INSTANCE_OF, IS_A
 
 #: edge labels that carry structure, not scene/KG relations
@@ -87,12 +88,14 @@ class QueryGraphExecutor:
         cache: KeyCentricCache | None = None,
         clock: SimClock | None = None,
         config: ExecutorConfig | None = None,
+        stats: ExecutorStats | None = None,
     ) -> None:
         self.merged = merged
         self.graph: Graph = merged.graph
         self.cache = cache if cache is not None else KeyCentricCache.disabled()
         self.clock = clock
         self.config = config or ExecutorConfig()
+        self.stats = stats
         self._relation_labels = [
             label for label in merged.edge_labels
             if label not in _STRUCTURAL_LABELS
@@ -135,7 +138,16 @@ class QueryGraphExecutor:
                     else result.objects_of_pairs()
                 )
                 labels = sorted({v.label for v in provider_vertices})
-                bindings[dst][kind.consumer_slot] = labels
+                existing = bindings[dst][kind.consumer_slot]
+                if existing is None:
+                    bindings[dst][kind.consumer_slot] = labels
+                else:
+                    # two providers constrain the same slot: both
+                    # conditions must hold, so intersect instead of
+                    # letting the last-executed provider win
+                    bindings[dst][kind.consumer_slot] = sorted(
+                        set(existing) & set(labels)
+                    )
                 remaining_inputs[dst] -= 1
                 if remaining_inputs[dst] <= 0:
                     pending.append(dst)
@@ -145,6 +157,8 @@ class QueryGraphExecutor:
             raise ExecutionError(
                 "main clause never executed — query graph is disconnected"
             )
+        if self.stats is not None:
+            self.stats.record_query(len(executed))
         main_result = results[main_index]
         return final_answer(
             main_result.spoc, main_result.pairs, kind_filter=self._is_kind_of
@@ -193,24 +207,25 @@ class QueryGraphExecutor:
     def match_vertex_label(self, label: str) -> list[Vertex]:
         """Label -> vertices, LD match + is-a/instance-of expansion."""
         key = ("scope", label.lower())
-        cached = self.cache.get_scope(key)
-        if cached is not None:
-            if self.clock is not None:
-                self.clock.charge("cache_hit")
-            return [self.graph.vertex(i) for i in cached
-                    if self.graph.has_vertex(i)]
 
-        if self.clock is not None:
-            self.clock.charge("scope_scan")
-            self.clock.charge("vertex_match",
-                              times=len(self.graph.vertex_labels))
-        direct: list[Vertex] = []
-        for candidate in self.graph.vertex_labels.labels():
-            if self._labels_match(label, candidate):
-                direct.extend(self.graph.find_vertices(candidate))
-        expanded = self._expand_to_instances(direct)
-        self.cache.put_scope(key, [v.id for v in expanded])
-        return expanded
+        def compute() -> list[int]:
+            if self.clock is not None:
+                self.clock.charge("scope_scan")
+                self.clock.charge("vertex_match",
+                                  times=len(self.graph.vertex_labels))
+            direct: list[Vertex] = []
+            for candidate in self.graph.vertex_labels.labels():
+                if self._labels_match(label, candidate):
+                    direct.extend(self.graph.find_vertices(candidate))
+            return [v.id for v in self._expand_to_instances(direct)]
+
+        ids, hit = self.cache.scope_get_or_compute(key, compute)
+        if self.stats is not None:
+            self.stats.record_scope(hit)
+        if hit and self.clock is not None:
+            self.clock.charge("cache_hit")
+        return [self.graph.vertex(i) for i in ids
+                if self.graph.has_vertex(i)]
 
     def _labels_match(self, query: str, candidate: str) -> bool:
         """``matchVertex``'s label test.
@@ -240,33 +255,37 @@ class QueryGraphExecutor:
         """"Harry Potter's girlfriend": resolve the owner, follow its
         most similar out-edge, expand the targets."""
         key = ("scope-poss", term.owner.lower(), term.head.lower())
-        cached = self.cache.get_scope(key)
-        if cached is not None:
-            if self.clock is not None:
-                self.clock.charge("cache_hit")
-            return [self.graph.vertex(i) for i in cached
-                    if self.graph.has_vertex(i)]
 
-        owners = self.match_vertex_label(term.owner)
-        out_labels = sorted({
-            edge.label
-            for owner in owners
-            for edge in self.graph.out_edges(owner.id)
-            if edge.label not in _STRUCTURAL_LABELS
-        })
-        if self.clock is not None:
-            self.clock.charge("embed_score", times=max(1, len(out_labels)))
-        best, score = max_score(term.head, out_labels)
-        targets: dict[int, Vertex] = {}
-        if best is not None and score >= self.config.predicate_threshold:
-            for owner in owners:
-                for edge in self.graph.out_edges(owner.id):
-                    if edge.label == best:
-                        vertex = self.graph.vertex(edge.dst)
-                        targets.setdefault(vertex.id, vertex)
-        expanded = self._expand_to_instances(list(targets.values()))
-        self.cache.put_scope(key, [v.id for v in expanded])
-        return expanded
+        def compute() -> list[int]:
+            owners = self.match_vertex_label(term.owner)
+            out_labels = sorted({
+                edge.label
+                for owner in owners
+                for edge in self.graph.out_edges(owner.id)
+                if edge.label not in _STRUCTURAL_LABELS
+            })
+            if self.clock is not None:
+                self.clock.charge("embed_score",
+                                  times=max(1, len(out_labels)))
+            best, score = max_score(term.head, out_labels)
+            targets: dict[int, Vertex] = {}
+            if best is not None and \
+                    score >= self.config.predicate_threshold:
+                for owner in owners:
+                    for edge in self.graph.out_edges(owner.id):
+                        if edge.label == best:
+                            vertex = self.graph.vertex(edge.dst)
+                            targets.setdefault(vertex.id, vertex)
+            expanded = self._expand_to_instances(list(targets.values()))
+            return [v.id for v in expanded]
+
+        ids, hit = self.cache.scope_get_or_compute(key, compute)
+        if self.stats is not None:
+            self.stats.record_scope(hit)
+        if hit and self.clock is not None:
+            self.clock.charge("cache_hit")
+        return [self.graph.vertex(i) for i in ids
+                if self.graph.has_vertex(i)]
 
     def _expand_to_instances(self, vertices: list[Vertex]) -> list[Vertex]:
         """Close the match set downward: concepts -> hyponym concepts
@@ -305,41 +324,52 @@ class QueryGraphExecutor:
         subjects: list[Vertex],
         objects: list[Vertex],
     ) -> list[RelationPair]:
+        # the path key is (subject-key, object-key) only — no
+        # predicate.  Retrieval collects *every* relation between the
+        # two endpoint sets; predicate filtering (maxScore) runs on
+        # the retrieved pairs afterwards, so one cached neighborhood
+        # serves every predicate over the same endpoints.
         key = (
             "path",
             self._slot_key(spoc.subject, binding["subject"]),
             self._slot_key(spoc.object, binding["object"]),
         )
-        cached = self.cache.get_path(key)
-        if cached is not None:
+
+        def compute() -> list[RelationPair]:
             if self.clock is not None:
-                self.clock.charge("cache_hit")
-            return cached
+                self.clock.charge("path_probe")
+                scans = sum(self.graph.out_degree(v.id)
+                            for v in subjects)
+                self.clock.charge("edge_scan", times=scans)
+            if subjects and objects:
+                pairs = relations_between(self.graph, subjects, objects)
+            elif subjects:
+                pairs = [
+                    RelationPair(subject, edge,
+                                 self.graph.vertex(edge.dst))
+                    for subject in subjects
+                    for edge in self.graph.out_edges(subject.id)
+                ]
+            elif objects:
+                pairs = [
+                    RelationPair(self.graph.vertex(edge.src), edge, obj)
+                    for obj in objects
+                    for edge in self.graph.in_edges(obj.id)
+                ]
+            else:
+                pairs = []
+            return [p for p in pairs
+                    if p.edge.label not in _STRUCTURAL_LABELS]
 
-        if self.clock is not None:
-            self.clock.charge("path_probe")
-            scans = sum(self.graph.out_degree(v.id) for v in subjects)
-            self.clock.charge("edge_scan", times=scans)
-
-        if subjects and objects:
-            pairs = relations_between(self.graph, subjects, objects)
-        elif subjects:
-            pairs = [
-                RelationPair(subject, edge, self.graph.vertex(edge.dst))
-                for subject in subjects
-                for edge in self.graph.out_edges(subject.id)
-            ]
-        elif objects:
-            pairs = [
-                RelationPair(self.graph.vertex(edge.src), edge, obj)
-                for obj in objects
-                for edge in self.graph.in_edges(obj.id)
-            ]
-        else:
-            pairs = []
-        pairs = [p for p in pairs if p.edge.label not in _STRUCTURAL_LABELS]
-        self.cache.put_path(key, pairs)
-        return pairs
+        pairs, hit = self.cache.path_get_or_compute(key, compute)
+        if self.stats is not None:
+            self.stats.record_path(hit)
+        if hit and self.clock is not None:
+            self.clock.charge("cache_hit")
+        # defensive copy: the cached list must never alias the list
+        # handed to callers, or a later in-place mutation would
+        # corrupt the cache entry for every subsequent hit
+        return list(pairs)
 
     def _slot_key(
         self, term: Term | None, bound: list[str] | None
@@ -362,13 +392,18 @@ class QueryGraphExecutor:
         ranked = rank_scores(predicate, labels)
         best, best_score = ranked[0]
         if best_score < self.config.predicate_threshold:
+            if self.stats is not None:
+                self.stats.record_filter(len(pairs), 0)
             return None, []
         accepted = {
             label for label, score in ranked
             if score >= max(self.config.predicate_threshold,
                             best_score - 0.05)
         }
-        return best, [p for p in pairs if p.edge.label in accepted]
+        kept = [p for p in pairs if p.edge.label in accepted]
+        if self.stats is not None:
+            self.stats.record_filter(len(pairs), len(kept))
+        return best, kept
 
     def _be_pairs(
         self, subjects: list[Vertex], objects: list[Vertex]
@@ -427,6 +462,8 @@ class QueryGraphExecutor:
         ranked = counts.most_common()
         target = ranked[0][1] if keep_max else ranked[-1][1]
         winners = {label for label, count in ranked if count == target}
+        if self.stats is not None:
+            self.stats.record_constraint()
         return [
             pair for pair in pairs
             if (pair.subject if slot == "subject" else pair.object).label

@@ -7,7 +7,8 @@
 * **answer** — decompose a question into a query graph (§IV) and
   execute it over the merged graph (§V);
 * **answer_many** — the multi-query path with the §V-B optimizations:
-  key-centric caching and frequency-ratio scheduling.
+  key-centric caching, frequency-ratio scheduling, and concurrent
+  execution on a configurable worker pool (``SVQAConfig.workers``).
 
 All latencies are accounted on a :class:`~repro.simtime.SimClock`
 (see that module for why), and every answer carries its own simulated
@@ -27,11 +28,13 @@ from repro.vision.relation import MODELS, RelationPredictor
 from repro.vision.scene_graph import SGGConfig, SGGPipeline, SceneGraphResult
 from repro.core.aggregator import AggregatorConfig, DataAggregator, MergedGraph
 from repro.core.answer import Answer
+from repro.core.batch import BatchExecutor, BatchResult
 from repro.core.cache import CacheReport, KeyCentricCache
 from repro.core.executor import ExecutorConfig, QueryGraphExecutor
 from repro.core.query_graph import generate_query_graph
 from repro.core.scheduler import schedule_queries
-from repro.core.spoc import QueryGraph, QuestionType
+from repro.core.spoc import QueryGraph
+from repro.core.stats import ExecutorStats, ExecutorStatsReport
 
 
 @dataclass
@@ -49,6 +52,7 @@ class SVQAConfig:
     enable_scope_cache: bool = True
     enable_path_cache: bool = True
     enable_scheduler: bool = True
+    workers: int = 1  # worker threads for answer_many (1 = serial)
 
 
 class SVQA:
@@ -79,6 +83,8 @@ class SVQA:
         self.scene_graphs: list[SceneGraphResult] | None = None
         self._cache = self._make_cache()
         self._executor: QueryGraphExecutor | None = None
+        self._stats = ExecutorStats()
+        self._last_batch: BatchResult | None = None
 
     def _make_cache(self) -> KeyCentricCache:
         config = self.config
@@ -121,7 +127,7 @@ class SVQA:
         self.merged = aggregator.merge(self.scene_graphs, self.annotations)
         self._executor = QueryGraphExecutor(
             self.merged, cache=self._cache, clock=self.clock,
-            config=self.config.executor,
+            config=self.config.executor, stats=self._stats,
         )
         return self.merged
 
@@ -154,14 +160,23 @@ class SVQA:
         answer.latency = start.interval
         return answer
 
-    def answer_many(self, questions: list[str]) -> list[Answer]:
+    def answer_many(
+        self, questions: list[str], workers: int | None = None
+    ) -> list[Answer]:
         """Answer a batch with the §V-B multi-query optimizations.
 
         Query graphs are generated for all questions, scheduled by
         frequency ratio (when enabled), executed in that order against
-        the shared key-centric cache, and returned in input order.
+        the shared thread-safe key-centric cache on ``workers`` pool
+        threads (``workers=1``, the default, runs serially in the
+        calling thread), and returned in input order.  Each worker
+        charges a private :class:`~repro.simtime.SimClock` shard; the
+        shards fold back into this system's clock, so ``elapsed``
+        keeps measuring total simulated work.  The makespan / measured
+        wall-clock view of the same run is on :attr:`last_batch`.
         """
-        executor = self._require_built()
+        workers = self.config.workers if workers is None else workers
+        self._require_built()
         graphs: list[QueryGraph | None] = []
         for question in questions:
             try:
@@ -176,17 +191,15 @@ class SVQA:
             order = [valid[i] for i in plan.order] + \
                 [i for i, g in enumerate(graphs) if g is None]
 
-        answers: list[Answer | None] = [None] * len(questions)
-        for index in order:
-            graph = graphs[index]
-            if graph is None:
-                answers[index] = Answer(QuestionType.REASONING, "unknown")
-                continue
-            start = self.clock.snapshot()
-            answer = executor.execute(graph)
-            answer.latency = start.interval
-            answers[index] = answer
-        return [a for a in answers if a is not None]
+        batch = BatchExecutor(
+            self.merged, cache=self._cache,
+            config=self.config.executor, workers=workers,
+            costs=self.clock.costs, stats=self._stats,
+        )
+        result = batch.run(graphs, order=order)
+        result.merge_into(self.clock)
+        self._last_batch = result
+        return result.answers
 
     # ------------------------------------------------------------------
     # introspection
@@ -195,18 +208,46 @@ class SVQA:
         """Scope/path hit statistics accumulated so far."""
         return CacheReport.from_cache(self._cache)
 
+    def execution_report(self) -> "ExecutionReport":
+        """Successor of :meth:`cache_report`: cache hit statistics
+        plus the executor's observability counters and (when
+        ``answer_many`` has run) the latest batch's latency figures."""
+        return ExecutionReport(
+            cache=CacheReport.from_cache(self._cache),
+            stats=self._stats.snapshot(),
+            last_batch=self._last_batch,
+        )
+
+    @property
+    def last_batch(self) -> BatchResult | None:
+        """The most recent ``answer_many`` run's :class:`BatchResult`."""
+        return self._last_batch
+
     @property
     def elapsed(self) -> float:
         """Total simulated seconds spent so far."""
         return self.clock.elapsed
 
 
+@dataclass
+class ExecutionReport:
+    """Everything observable about execution so far: cache hit/miss
+    totals, executor counters, and the latest batch run (if any)."""
+
+    cache: CacheReport
+    stats: ExecutorStatsReport
+    last_batch: BatchResult | None
+
+
 def estimate_parallel_latency(latencies: list[float], workers: int) -> float:
     """Wall-clock estimate when queries run on ``workers`` parallel lanes.
 
     Greedy longest-first bin packing: the makespan of the fullest lane.
-    This is the §V "parallelize our algorithm" model — queries are
-    independent once the merged graph is built.
+    This is the §V "parallelize our algorithm" model.  Since the
+    :class:`~repro.core.batch.BatchExecutor` runs batches on a real
+    worker pool and reports measured makespans, this analytical model
+    is only a fallback — it predicts, from a serial (``workers=1``)
+    run's per-query latencies, what a parallel run would cost.
     """
     if workers <= 0:
         raise ValueError(f"workers must be >= 1, got {workers}")

@@ -63,7 +63,10 @@ def schedule_queries(graphs: list[QueryGraph]) -> SchedulePlan:
 
     # descending score; more vertices win ties (the paper's Example 6:
     # G1 is processed first because it "contains the most frequent
-    # vertices and contains more vertices than G2")
+    # vertices and contains more vertices than G2").  The final `i`
+    # tiebreaker makes the order fully deterministic — it doubles as
+    # the submission order of the concurrent BatchExecutor, so equal-
+    # score graphs must not reorder between runs
     order = sorted(
         range(len(graphs)),
         key=lambda i: (-scores[i], -len(graphs[i].vertices), i),

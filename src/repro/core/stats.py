@@ -1,0 +1,126 @@
+"""Execution observability: thread-safe counters for the executor.
+
+:class:`ExecutorStats` is shared by every executor in a batch run (all
+worker threads record into one object); :meth:`ExecutorStats.snapshot`
+freezes the counters into an immutable :class:`ExecutorStatsReport`
+for display.  The counters complement the cache's own hit/miss totals
+with *why*-level detail: how many query-graph vertices each query
+executed, how often predicate filtering rejected retrieved pairs, and
+how often a constraint ("most frequently") actually narrowed a result.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ExecutorStatsReport:
+    """An immutable snapshot of :class:`ExecutorStats`."""
+
+    queries: int
+    vertices: int
+    per_query_vertices: tuple[int, ...]
+    scope_hits: int
+    scope_misses: int
+    path_hits: int
+    path_misses: int
+    predicate_rejections: int      # pairs dropped by maxScore filtering
+    predicate_dropouts: int        # vertices where *every* pair dropped
+    constraint_applications: int   # constraints that narrowed a result
+
+    @property
+    def scope_hit_rate(self) -> float:
+        return _rate(self.scope_hits, self.scope_misses)
+
+    @property
+    def path_hit_rate(self) -> float:
+        return _rate(self.path_hits, self.path_misses)
+
+    @property
+    def mean_vertices_per_query(self) -> float:
+        return self.vertices / self.queries if self.queries else 0.0
+
+
+class ExecutorStats:
+    """Mutable, lock-guarded execution counters.
+
+    Every ``record_*`` method is safe to call from any worker thread;
+    the executor calls them at the corresponding Algorithm-3 stages.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._per_query_vertices: list[int] = []
+        self._scope_hits = 0
+        self._scope_misses = 0
+        self._path_hits = 0
+        self._path_misses = 0
+        self._predicate_rejections = 0
+        self._predicate_dropouts = 0
+        self._constraint_applications = 0
+
+    def record_query(self, vertex_count: int) -> None:
+        with self._lock:
+            self._queries += 1
+            self._per_query_vertices.append(vertex_count)
+
+    def record_scope(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self._scope_hits += 1
+            else:
+                self._scope_misses += 1
+
+    def record_path(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self._path_hits += 1
+            else:
+                self._path_misses += 1
+
+    def record_filter(self, before: int, after: int) -> None:
+        rejected = before - after
+        if rejected <= 0:
+            return
+        with self._lock:
+            self._predicate_rejections += rejected
+            if after == 0:
+                self._predicate_dropouts += 1
+
+    def record_constraint(self) -> None:
+        with self._lock:
+            self._constraint_applications += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._queries = 0
+            self._per_query_vertices.clear()
+            self._scope_hits = self._scope_misses = 0
+            self._path_hits = self._path_misses = 0
+            self._predicate_rejections = 0
+            self._predicate_dropouts = 0
+            self._constraint_applications = 0
+
+    def snapshot(self) -> ExecutorStatsReport:
+        with self._lock:
+            counts = tuple(self._per_query_vertices)
+            return ExecutorStatsReport(
+                queries=self._queries,
+                vertices=sum(counts),
+                per_query_vertices=counts,
+                scope_hits=self._scope_hits,
+                scope_misses=self._scope_misses,
+                path_hits=self._path_hits,
+                path_misses=self._path_misses,
+                predicate_rejections=self._predicate_rejections,
+                predicate_dropouts=self._predicate_dropouts,
+                constraint_applications=self._constraint_applications,
+            )

@@ -53,6 +53,7 @@ __all__ = [
     "build_commonsense_kg",
     "build_modified_vqa2",
     "build_movie_kg",
+    "build_mvqa",
     "categories_for_word",
     "character_names",
     "characters_with_occupation",

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.nlp.semlex import HYPERNYMS, hypernym_chain
+from repro.nlp.semlex import hypernym_chain
 from repro.synth.scene import SyntheticScene
 from repro.synth.taxonomy import category_names
 

@@ -18,7 +18,7 @@ The whole build is deterministic in the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,8 +14,6 @@ image), which is what keeps the dataset easier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.spoc import QuestionType

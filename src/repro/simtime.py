@@ -105,6 +105,26 @@ class SimClock:
         self.elapsed = 0.0
         self.counts.clear()
 
+    def fork(self) -> "SimClock":
+        """A fresh zeroed clock sharing this clock's cost table.
+
+        Concurrent batch execution gives every worker thread its own
+        *shard* so charging stays race-free; shards are folded back
+        with :meth:`merge` when the batch completes.
+        """
+        return SimClock(costs=dict(self.costs))
+
+    def merge(self, other: "SimClock") -> None:
+        """Fold another clock's charges into this one.
+
+        Elapsed times add up (total simulated *work*, not wall time —
+        the makespan across shards is reported separately) and the
+        per-operation counters accumulate.
+        """
+        self.elapsed += other.elapsed
+        for operation, count in other.counts.items():
+            self.counts[operation] = self.counts.get(operation, 0) + count
+
     def snapshot(self) -> "ClockSnapshot":
         """Capture the current elapsed time for later interval measurement."""
         return ClockSnapshot(self, self.elapsed)

@@ -14,7 +14,7 @@ relation (a held frisbee overlaps the dog; a rider sits on the horse).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

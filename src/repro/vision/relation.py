@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.synth.relations import RELATIONS, prior_vector, relation_index
-from repro.synth.scene import SceneObject, spatial_relation
+from repro.synth.scene import spatial_relation
 from repro.util import stable_hash
 from repro.vision.detector import Detection
 

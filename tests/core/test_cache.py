@@ -1,5 +1,7 @@
 """Unit and property tests for LFU/LRU and the key-centric cache."""
 
+import threading
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -66,6 +68,27 @@ class TestLFU:
         assert cache.get("a") == 2
         assert len(cache) == 1
 
+    def test_put_existing_key_at_capacity_does_not_evict(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # full, but "a" is already resident
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.get("b") == 2
+
+    def test_tie_recency_refreshed_by_put(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 1)   # a: freq 2; b: freq 1 -> b is the victim
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_hit_rate_untouched_cache(self):
+        assert LFUCache(2).hit_rate == 0.0
+
 
 class TestLRU:
     def test_evicts_least_recent(self):
@@ -98,6 +121,18 @@ class TestLRU:
         cache.get("a")
         cache.get("z")
         assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_put_existing_key_at_capacity_does_not_evict(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # full, but "a" is already resident
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.get("b") == 2
+
+    def test_hit_rate_untouched_cache(self):
+        assert LRUCache(2).hit_rate == 0.0
 
 
 class TestFactoryAndProperties:
@@ -165,3 +200,126 @@ class TestKeyCentric:
         report = CacheReport.from_cache(cache)
         assert report.scope_hits == 1
         assert report.scope_misses == 1
+
+
+class TestGetOrCompute:
+    def test_miss_computes_and_fills(self):
+        cache = KeyCentricCache.create(pool_size=4)
+        value, hit = cache.scope_get_or_compute("k", lambda: [1, 2])
+        assert (value, hit) == ([1, 2], False)
+        value, hit = cache.scope_get_or_compute(
+            "k", lambda: pytest.fail("must not recompute")
+        )
+        assert (value, hit) == ([1, 2], True)
+
+    def test_disabled_always_computes(self):
+        cache = KeyCentricCache.disabled()
+        calls = []
+        for _ in range(3):
+            value, hit = cache.path_get_or_compute(
+                "k", lambda: calls.append(1) or [9]
+            )
+            assert (value, hit) == ([9], False)
+        assert len(calls) == 3
+
+    def test_leader_error_falls_back_to_follower_compute(self):
+        cache = KeyCentricCache.create(pool_size=4)
+        with pytest.raises(RuntimeError):
+            cache.scope_get_or_compute(
+                "k", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+            )
+        # the failed computation left nothing behind
+        value, hit = cache.scope_get_or_compute("k", lambda: [7])
+        assert (value, hit) == ([7], False)
+
+
+class TestThreadSafety:
+    """Stress the shared cache with >= 4 threads (the acceptance
+    criterion): no exceptions, no lost updates, no duplicated work for
+    concurrent misses on the same key."""
+
+    THREADS = 8
+
+    def _hammer(self, worker, threads=THREADS):
+        errors = []
+
+        def wrapped(thread_index):
+            try:
+                worker(thread_index)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=wrapped, args=(i,))
+                for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+
+    @pytest.mark.parametrize("policy", ["lfu", "lru"])
+    def test_store_invariants_under_contention(self, policy):
+        cache = make_cache(policy, capacity=16)
+
+        def worker(thread_index):
+            for i in range(300):
+                key = (thread_index + i) % 40
+                cache.put(key, key * 10)
+                value = cache.get(key)
+                # evictions may drop the key, but a present value is
+                # never a torn/foreign write
+                assert value is None or value == key * 10
+                assert len(cache) <= 16
+
+        self._hammer(worker)
+        assert cache.hits + cache.misses == self.THREADS * 300
+
+    def test_key_centric_values_always_consistent(self):
+        cache = KeyCentricCache.create(pool_size=32)
+
+        def worker(thread_index):
+            for i in range(200):
+                key = ("scope", i % 50)
+                value, _ = cache.scope_get_or_compute(
+                    key, lambda k=key: [k[1], k[1] + 1]
+                )
+                assert value == [key[1], key[1] + 1]
+                pkey = ("path", i % 30)
+                value, _ = cache.path_get_or_compute(
+                    pkey, lambda k=pkey: [k[1] * 2]
+                )
+                assert value == [pkey[1] * 2]
+
+        self._hammer(worker)
+
+    def test_concurrent_misses_compute_once(self):
+        cache = KeyCentricCache.create(pool_size=4)
+        release = threading.Event()
+        entered = threading.Semaphore(0)
+        computes = []
+
+        def compute():
+            computes.append(1)
+            release.wait(timeout=5)
+            return [42]
+
+        results = []
+
+        def worker(_):
+            entered.release()
+            results.append(cache.scope_get_or_compute("k", compute))
+
+        pool = [threading.Thread(target=worker, args=(i,))
+                for i in range(6)]
+        for thread in pool:
+            thread.start()
+        for _ in pool:  # every thread reached the cache
+            entered.acquire()
+        release.set()   # let the single leader finish computing
+        for thread in pool:
+            thread.join()
+
+        assert len(computes) == 1
+        assert all(value == [42] for value, _ in results)
+        # exactly one miss (the leader); everyone else observed a hit
+        assert sum(1 for _, hit in results if not hit) == 1

@@ -7,15 +7,18 @@ no detector noise, known instances, known relations.
 import pytest
 
 from repro.core import (
-    ExecutorConfig,
+    DependencyKind,
     KeyCentricCache,
     MergedGraph,
+    QueryGraph,
     QueryGraphExecutor,
     QuestionType,
+    SPOC,
+    Term,
     generate_query_graph,
 )
 from repro.core.aggregator import MergeStats
-from repro.dataset.kg import INSTANCE_OF, IS_A, build_movie_kg
+from repro.dataset.kg import INSTANCE_OF, build_movie_kg
 from repro.graph import Graph
 from repro.simtime import SimClock
 
@@ -227,6 +230,91 @@ class TestFlagshipQuestion:
         # Neville (2 images with Ginny) beats Draco (1 with Cho), and
         # Neville wears a robe
         assert answer.value == "robe"
+
+
+class TestTwoProviderBinding:
+    """Regression: two condition clauses constraining the same slot
+    must intersect their label sets, not let the last writer win."""
+
+    @staticmethod
+    def make_two_provider_setup():
+        """dog sits on sofa AND stands on grass; cat only stands on
+        grass; both eat food.  Condition A (sitting on sofa) yields
+        {dog}; condition B (standing on grass) yields {cat, dog}."""
+        graph = Graph(name="merged")
+
+        def instance(label, image_id):
+            return graph.add_vertex(
+                label, {"kind": "instance", "image_id": image_id}
+            )
+
+        dog = instance("dog", 0)
+        cat = instance("cat", 0)
+        sofa = instance("sofa", 1)
+        grass = instance("grass", 0)
+        food = instance("food", 2)
+        graph.add_edge(dog.id, sofa.id, "sitting on", {"image_id": 1})
+        graph.add_edge(dog.id, grass.id, "standing on", {"image_id": 0})
+        graph.add_edge(cat.id, grass.id, "standing on", {"image_id": 0})
+        graph.add_edge(dog.id, food.id, "eating", {"image_id": 2})
+        graph.add_edge(cat.id, food.id, "eating", {"image_id": 3})
+        stats = MergeStats({}, [], 0.0, 0.0, 0, 0, 0)
+        merged = MergedGraph(graph=graph, stats=stats,
+                             instance_ids=[dog.id, cat.id])
+
+        query_graph = QueryGraph(
+            vertices=[
+                SPOC(subject=None, predicate="sitting on",
+                     object=Term("sofa", "sofa"),
+                     answer_role="subject"),
+                SPOC(subject=None, predicate="standing on",
+                     object=Term("grass", "grass"),
+                     answer_role="subject"),
+                SPOC(subject=None, predicate="eating",
+                     object=Term("food", "food"), is_main=True,
+                     question_type=QuestionType.COUNTING,
+                     answer_role="subject"),
+            ],
+            edges=[
+                (0, 2, DependencyKind.S2S),
+                (1, 2, DependencyKind.S2S),
+            ],
+            question="How many animals that sit on the sofa and stand "
+                     "on the grass are eating food?",
+        )
+        return merged, query_graph
+
+    def test_repeated_slot_writes_intersect(self):
+        merged, query_graph = self.make_two_provider_setup()
+        executor = QueryGraphExecutor(merged)
+        answer = executor.execute(query_graph)
+        # only the dog satisfies BOTH conditions; keeping just the
+        # last-executed provider's labels would also count the cat
+        assert answer.value == "1"
+
+
+class TestPathCacheAliasing:
+    """Regression: the path cache must never hand out the list object
+    it stores, or caller mutations corrupt later hits."""
+
+    def test_mutating_returned_pairs_keeps_cache_intact(self):
+        executor = QueryGraphExecutor(
+            make_merged(), cache=KeyCentricCache.create(pool_size=50)
+        )
+        graph = generate_query_graph("Is there a fence near the grass?")
+        spoc = graph.vertices[0]
+        binding = {"subject": None, "object": None}
+        subjects = executor._resolve_slot(spoc.subject, None)
+        objects = executor._resolve_slot(spoc.object, None)
+
+        first = executor._relation_pairs(spoc, binding, subjects,
+                                         objects)
+        assert first
+        first.clear()  # in-place caller mutation
+        second = executor._relation_pairs(spoc, binding, subjects,
+                                          objects)
+        assert second  # the cached entry survived the mutation
+        assert second is not first
 
 
 class TestCachingConsistency:

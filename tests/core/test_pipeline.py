@@ -87,6 +87,53 @@ class TestSchedulerIntegration:
         assert answers[0].value == answers[1].value
 
 
+class TestConcurrentAnswerMany:
+    QUESTIONS = [
+        "Is there a dog near the fence?",
+        "How many dogs are standing on the grass?",
+        "Is there a cat near the sofa?",
+        "Is there a dog near the fence?",
+    ]
+
+    def test_workers_param_matches_serial(self, svqa):
+        serial = svqa.answer_many(self.QUESTIONS, workers=1)
+        parallel = svqa.answer_many(self.QUESTIONS, workers=4)
+        assert [a.value for a in serial] == [a.value for a in parallel]
+        assert [a.question_type for a in serial] == \
+            [a.question_type for a in parallel]
+
+    def test_workers_from_config(self):
+        from repro.synth import SceneGenerator
+
+        scenes = SceneGenerator(seed=33).generate_pool(20)
+        system = SVQA(scenes, build_commonsense_kg(),
+                      SVQAConfig(workers=3))
+        system.build()
+        system.answer_many(self.QUESTIONS)
+        assert system.last_batch.workers == 3
+
+    def test_last_batch_and_execution_report(self, svqa):
+        svqa.answer_many(self.QUESTIONS, workers=2)
+        batch = svqa.last_batch
+        assert batch is not None
+        assert len(batch.answers) == len(self.QUESTIONS)
+        assert batch.simulated_makespan <= batch.simulated_total
+        report = svqa.execution_report()
+        assert report.stats.queries > 0
+        assert report.cache.scope_hits >= 0
+        assert report.last_batch is batch
+
+    def test_shards_fold_into_system_clock(self, svqa):
+        before = svqa.elapsed
+        svqa.answer_many(self.QUESTIONS, workers=2)
+        assert svqa.elapsed >= \
+            before + svqa.last_batch.simulated_total
+
+    def test_invalid_workers_raises(self, svqa):
+        with pytest.raises(ValueError):
+            svqa.answer_many(self.QUESTIONS, workers=0)
+
+
 class TestParallelEstimate:
     def test_single_worker_is_sum(self):
         assert estimate_parallel_latency([1.0, 2.0, 3.0], 1) == 6.0

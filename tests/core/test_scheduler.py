@@ -71,3 +71,23 @@ class TestSchedule:
         ])
         plan = schedule_queries(graphs)
         assert max(plan.key_frequency.values()) == 2
+
+
+class TestDeterminism:
+    def test_equal_scores_keep_input_order(self):
+        # identical graphs tie on score AND vertex count; the index
+        # tiebreaker must keep them in input order
+        graphs = graphs_for(["Is there a dog near the fence?"] * 4)
+        plan = schedule_queries(graphs)
+        assert plan.order == [0, 1, 2, 3]
+
+    def test_repeated_scheduling_is_stable(self):
+        graphs = graphs_for([
+            "Is there a bus near the station?",
+            "Is there a dog near the fence?",
+            "Is there a cat near the sofa?",
+            "Is there a dog near the fence?",
+        ])
+        first = schedule_queries(graphs)
+        for _ in range(5):
+            assert schedule_queries(graphs).order == first.order

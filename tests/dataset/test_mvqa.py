@@ -5,7 +5,6 @@ import pytest
 from repro.core.spoc import QuestionType
 from repro.dataset.mvqa import (
     COMPOSITION,
-    MVQADataset,
     build_mvqa,
     mvqa_image_filter,
 )

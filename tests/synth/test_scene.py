@@ -1,6 +1,5 @@
 """Unit tests for scene model, geometry, and rendering."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SceneError

@@ -32,6 +32,17 @@ class TestAskCommand:
         assert "A: " in out
 
 
+class TestBenchCommand:
+    def test_bench_reports_latency_and_stats(self, capsys):
+        code = main(["bench", "--fast", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Concurrent batch execution" in out
+        assert "Makespan" in out
+        assert "scope hit rate" in out
+        assert "constraint applications" in out
+
+
 class TestStatsCommand:
     def test_fast_stats(self, capsys):
         code = main(["stats", "--fast"])

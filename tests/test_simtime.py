@@ -56,3 +56,34 @@ class TestSimClock:
         for op in ("pos_tag", "dep_parse", "vqa_forward"):
             total += clock.charge(op)
         assert clock.elapsed == pytest.approx(total)
+
+
+class TestShards:
+    def test_fork_shares_costs_but_not_state(self):
+        clock = SimClock(costs={"thing": 2.0})
+        clock.charge("thing")
+        shard = clock.fork()
+        assert shard.elapsed == 0.0
+        assert shard.counts == {}
+        shard.charge("thing")
+        assert shard.elapsed == 2.0
+        assert clock.elapsed == 2.0  # parent untouched by the shard
+
+    def test_fork_costs_are_independent_copies(self):
+        clock = SimClock()
+        shard = clock.fork()
+        shard.costs["pos_tag"] = 99.0
+        assert clock.costs["pos_tag"] == DEFAULT_COSTS["pos_tag"]
+
+    def test_merge_adds_elapsed_and_counts(self):
+        clock = SimClock()
+        clock.charge("pos_tag")
+        shard = clock.fork()
+        shard.charge("pos_tag")
+        shard.charge("dep_parse", times=2)
+        clock.merge(shard)
+        assert clock.elapsed == pytest.approx(
+            2 * DEFAULT_COSTS["pos_tag"] + 2 * DEFAULT_COSTS["dep_parse"]
+        )
+        assert clock.counts["pos_tag"] == 2
+        assert clock.counts["dep_parse"] == 2
