@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
-.PHONY: test lint bench
+.PHONY: test lint lint-analysis bench
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -10,6 +10,18 @@ lint:
 		ruff check src tests; \
 	else \
 		echo "ruff not installed — skipping lint (CI runs it)"; \
+	fi
+
+# the in-repo static-analysis gates: the repo-invariant linter
+# (RP001-RP005), the query-graph validator sweep over MVQA, and mypy
+# (when installed — CI always runs it)
+lint-analysis:
+	PYTHONPATH=src python -m repro lint-code
+	PYTHONPATH=src python -m repro lint-queries --fast
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed — skipping type check (CI runs it)"; \
 	fi
 
 bench:

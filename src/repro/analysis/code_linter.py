@@ -1,0 +1,160 @@
+"""The codebase invariant linter (static-analysis layer 2).
+
+Binds the ``RP###`` AST rules of :mod:`repro.analysis.code_rules` to
+the paths they govern, with per-rule allowlists for the deliberate
+exceptions, and runs them over the package source.  ``repro
+lint-code`` and ``make lint-analysis`` are thin wrappers around
+:func:`lint_paths`; CI gates on the ERROR count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+import ast
+
+from repro.analysis.code_rules import (
+    CodeRule,
+    LockDisciplineRule,
+    MutableDefaultRule,
+    OrderedIterationRule,
+    SeededRngRule,
+    WallClockRule,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+
+
+@dataclass(frozen=True)
+class RuleBinding:
+    """One rule bound to a path scope.
+
+    ``paths`` restricts the rule to files whose normalized path ends
+    with one of the given suffixes (``None`` = every file); ``allow``
+    exempts matching files — the mechanism for deliberate, documented
+    exceptions to an invariant.
+    """
+
+    rule: CodeRule
+    paths: tuple[str, ...] | None = None
+    allow: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        if any(normalized.endswith(suffix) for suffix in self.allow):
+            return False
+        if self.paths is None:
+            return True
+        return any(normalized.endswith(suffix) for suffix in self.paths)
+
+
+def default_bindings() -> tuple[RuleBinding, ...]:
+    """The repo's invariant configuration.
+
+    * RP001 everywhere, except :mod:`repro.simtime` (the cost model
+      itself) and ``core/batch.py`` (the measured wall-clock of a
+      batch run is the metric being reported);
+    * RP002 and RP005 everywhere;
+    * RP003 in the lock-disciplined shared-state modules;
+    * RP004 in the hot paths whose iteration order feeds ordered
+      output (the scheduler order doubles as batch submission order).
+    """
+    return (
+        RuleBinding(
+            WallClockRule(),
+            allow=("repro/simtime.py", "repro/core/batch.py"),
+        ),
+        RuleBinding(SeededRngRule()),
+        RuleBinding(
+            LockDisciplineRule(),
+            paths=("repro/core/cache.py", "repro/core/stats.py",
+                   "repro/core/batch.py"),
+        ),
+        RuleBinding(
+            OrderedIterationRule(),
+            paths=("repro/core/scheduler.py", "repro/core/executor.py",
+                   "repro/core/batch.py", "repro/core/query_graph.py"),
+        ),
+        RuleBinding(MutableDefaultRule()),
+    )
+
+
+def collect_python_files(roots: Iterable[Path]) -> list[Path]:
+    """Every ``*.py`` under the roots, sorted, skipping caches."""
+    files: set[Path] = set()
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            files.add(root)
+        elif root.is_dir():
+            files.update(
+                path for path in root.rglob("*.py")
+                if "__pycache__" not in path.parts
+            )
+    return sorted(files)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    bindings: Sequence[RuleBinding] | None = None,
+) -> DiagnosticReport:
+    """Lint one module's source text under the given bindings."""
+    if bindings is None:
+        bindings = default_bindings()
+    report = DiagnosticReport()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.add(Diagnostic(
+            "RP000", Severity.ERROR,
+            Location(file=path, line=exc.lineno, column=exc.offset),
+            f"file does not parse: {exc.msg}",
+        ))
+        return report
+    for binding in bindings:
+        if binding.applies_to(path):
+            report.extend(binding.rule.check(tree, path))
+    return report
+
+
+def lint_paths(
+    roots: Iterable[Path],
+    bindings: Sequence[RuleBinding] | None = None,
+) -> DiagnosticReport:
+    """Lint every Python file under the roots."""
+    if bindings is None:
+        bindings = default_bindings()
+    report = DiagnosticReport()
+    for path in collect_python_files(roots):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.add(Diagnostic(
+                "RP000", Severity.ERROR, Location(file=str(path)),
+                f"file is unreadable: {exc}",
+            ))
+            continue
+        report.extend(lint_source(source, str(path), bindings))
+    return report.sorted()
+
+
+def default_source_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+__all__ = [
+    "RuleBinding",
+    "collect_python_files",
+    "default_bindings",
+    "default_source_root",
+    "lint_paths",
+    "lint_source",
+]

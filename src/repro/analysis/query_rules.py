@@ -1,0 +1,437 @@
+"""Semantic rules over generated query graphs (the ``QG###`` set).
+
+Algorithm 2 can emit structurally broken graphs — the Fig. 8(a)
+failure mode — and Algorithm 3 only discovers the breakage deep inside
+execution (a disconnected main clause surfaces as an
+:class:`~repro.errors.ExecutionError`, a contradictory slot binding as
+a silently empty answer).  Each rule here checks one structural or
+semantic property *before* execution:
+
+========  =========  ====================================================
+rule id   severity   property
+========  =========  ====================================================
+QG001     ERROR      edge endpoints exist and are not self-loops
+QG002     ERROR      dependency wiring is acyclic (an execution order
+                     exists)
+QG003     ERROR      exactly one main clause, carrying a question type
+QG004     WARNING    every condition vertex reaches the main clause
+                     (no dead computation)
+QG005     ERROR      answer type matches the WH structure (counting /
+                     reasoning mains have a WH answer slot, judgment
+                     mains have none)
+QG006     WARNING    providers feeding one consumer slot are mutually
+                     satisfiable (their label sets can intersect)
+QG007     ERROR /    constraints are satisfiable: a recognised
+          WARNING    constraint word (else WARNING) on a clause whose
+                     grouping slot exists (else ERROR)
+QG008     WARNING    subject/object terms are inside the
+                     lexicon/taxonomy vocabulary
+QG009     ERROR      SPOCs are non-degenerate (a predicate plus at
+                     least one of subject/object)
+========  =========  ====================================================
+
+Rules are pure functions ``(graph, context) -> list[Diagnostic]``
+registered in :data:`QUERY_RULES`; the validator in
+:mod:`repro.analysis.query_validator` runs them all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.core.spoc import QueryGraph, QuestionType, SPOC, Term
+from repro.core.spoc_extract import CONSTRAINT_WORDS
+
+
+@dataclass(frozen=True)
+class QueryLintContext:
+    """Vocabulary and similarity hooks shared by the query rules.
+
+    ``known_terms`` is the static vocabulary (lexicon + taxonomy,
+    lowercase); ``extra_terms`` lets a caller add merged-graph labels.
+    ``are_synonyms`` and ``constraint_score`` default to the same
+    semlex/embedding machinery the executor uses, so the validator
+    predicts what execution will accept.
+    """
+
+    known_terms: frozenset[str]
+    extra_terms: frozenset[str] = frozenset()
+    are_synonyms: Callable[[str, str], bool] = lambda a, b: a == b
+    constraint_score: Callable[[str], float] = lambda text: 1.0
+    singular: Callable[[str], str] = lambda word: word
+
+    def knows(self, head: str) -> bool:
+        word = head.lower()
+        if word in self.known_terms or word in self.extra_terms:
+            return True
+        return self.singular(word) in self.known_terms
+
+
+RuleFn = Callable[[QueryGraph, QueryLintContext], list[Diagnostic]]
+
+#: rule id -> rule function; populated by :func:`query_rule`.
+QUERY_RULES: dict[str, RuleFn] = {}
+
+
+def query_rule(rule_id: str) -> Callable[[RuleFn], RuleFn]:
+    """Register a query-graph rule under ``rule_id``."""
+
+    def register(fn: RuleFn) -> RuleFn:
+        if rule_id in QUERY_RULES:
+            raise ValueError(f"duplicate query rule id: {rule_id}")
+        QUERY_RULES[rule_id] = fn
+        return fn
+
+    return register
+
+
+def _valid_edges(graph: QueryGraph) -> list[tuple[int, int]]:
+    """Edges with in-range, non-self endpoints (what QG001 accepts)."""
+    count = len(graph.vertices)
+    return [
+        (src, dst) for src, dst, _ in graph.edges
+        if 0 <= src < count and 0 <= dst < count and src != dst
+    ]
+
+
+# ---------------------------------------------------------------------------
+# structural rules
+# ---------------------------------------------------------------------------
+
+@query_rule("QG001")
+def dangling_edges(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """Every edge endpoint names an existing, distinct vertex."""
+    count = len(graph.vertices)
+    found: list[Diagnostic] = []
+    for src, dst, kind in graph.edges:
+        if not (0 <= src < count and 0 <= dst < count):
+            found.append(Diagnostic(
+                "QG001", Severity.ERROR, Location(edge=(src, dst)),
+                f"dangling {kind.value} edge: vertex index out of range "
+                f"(graph has {count} vertices)",
+                hint="the Connect stage emitted an edge for a clause "
+                     "that was never extracted",
+            ))
+        elif src == dst:
+            found.append(Diagnostic(
+                "QG001", Severity.ERROR, Location(edge=(src, dst)),
+                f"self-loop {kind.value} edge on vertex v{src}",
+                hint="a clause cannot provide its own slot binding",
+            ))
+    return found
+
+
+@query_rule("QG002")
+def cyclic_wiring(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """The provider->consumer wiring admits an execution order."""
+    adjacency: dict[int, list[int]] = {}
+    for src, dst in _valid_edges(graph):
+        adjacency.setdefault(src, []).append(dst)
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = dict.fromkeys(range(len(graph.vertices)), WHITE)
+    cycle_vertices: list[int] = []
+
+    def visit(vertex: int, stack: list[int]) -> bool:
+        color[vertex] = GRAY
+        stack.append(vertex)
+        for successor in adjacency.get(vertex, []):
+            if color[successor] == GRAY:
+                start = stack.index(successor)
+                cycle_vertices.extend(stack[start:])
+                return True
+            if color[successor] == WHITE and visit(successor, stack):
+                return True
+        stack.pop()
+        color[vertex] = BLACK
+        return False
+
+    for vertex in range(len(graph.vertices)):
+        if color[vertex] == WHITE and visit(vertex, []):
+            cycle = " -> ".join(f"v{v}" for v in cycle_vertices)
+            return [Diagnostic(
+                "QG002", Severity.ERROR,
+                Location(vertex=cycle_vertices[0]),
+                f"cyclic dependency wiring: {cycle} -> "
+                f"v{cycle_vertices[0]}; no execution order exists",
+                hint="provider edges must run from deeper clauses to "
+                     "shallower ones",
+            )]
+    return []
+
+
+@query_rule("QG003")
+def main_clause(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """Exactly one main clause, and it carries a question type."""
+    mains = [i for i, s in enumerate(graph.vertices) if s.is_main]
+    if not mains:
+        return [Diagnostic(
+            "QG003", Severity.ERROR, Location(),
+            "query graph has no main clause — nothing produces the "
+            "final answer",
+            hint="clause segmentation must mark the root clause is_main",
+        )]
+    found: list[Diagnostic] = []
+    if len(mains) > 1:
+        listed = ", ".join(f"v{i}" for i in mains)
+        found.append(Diagnostic(
+            "QG003", Severity.ERROR, Location(vertex=mains[1]),
+            f"query graph has {len(mains)} main clauses ({listed}); "
+            "the final answer is ambiguous",
+            hint="only the root clause may be is_main",
+        ))
+    for index in mains:
+        if graph.vertices[index].question_type is None:
+            found.append(Diagnostic(
+                "QG003", Severity.ERROR, Location(vertex=index),
+                f"main clause v{index} has no question type",
+                hint="the answer builder needs judgment/counting/"
+                     "reasoning to shape the final answer",
+            ))
+    return found
+
+
+@query_rule("QG004")
+def unreachable_vertices(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """Every condition clause should feed (transitively) the main one."""
+    mains = {i for i, s in enumerate(graph.vertices) if s.is_main}
+    if len(mains) != 1:
+        return []  # QG003's problem
+    reverse: dict[int, list[int]] = {}
+    for src, dst in _valid_edges(graph):
+        reverse.setdefault(dst, []).append(src)
+    reaches_main = set(mains)
+    frontier = list(mains)
+    while frontier:
+        vertex = frontier.pop()
+        for predecessor in reverse.get(vertex, []):
+            if predecessor not in reaches_main:
+                reaches_main.add(predecessor)
+                frontier.append(predecessor)
+    found: list[Diagnostic] = []
+    for index, spoc in enumerate(graph.vertices):
+        if index not in reaches_main:
+            found.append(Diagnostic(
+                "QG004", Severity.WARNING, Location(vertex=index),
+                f"vertex v{index} ({spoc!r}) never reaches the main "
+                "clause; its result is dead computation",
+                hint="the Connect stage found no SO-overlap for this "
+                     "clause — check the condition's wording",
+            ))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# semantic rules
+# ---------------------------------------------------------------------------
+
+@query_rule("QG005")
+def answer_type_mismatch(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """The question type must match the main clause's WH structure."""
+    found: list[Diagnostic] = []
+    for index, spoc in enumerate(graph.vertices):
+        if not spoc.is_main or spoc.question_type is None:
+            continue
+        answer_term = _safe_slot(spoc, spoc.answer_role)
+        wh_slots = [
+            role for role in ("subject", "object")
+            if (term := _safe_slot(spoc, role)) is not None and term.is_wh
+        ]
+        if spoc.question_type is QuestionType.JUDGMENT:
+            if wh_slots:
+                found.append(Diagnostic(
+                    "QG005", Severity.ERROR, Location(vertex=index),
+                    f"judgment main clause v{index} has a WH term in "
+                    f"its {wh_slots[0]} slot; yes/no questions cannot "
+                    "have an answer variable",
+                    hint="re-classify as counting/reasoning or drop "
+                         "the WH phrase",
+                ))
+        else:
+            if answer_term is None or not answer_term.is_wh:
+                found.append(Diagnostic(
+                    "QG005", Severity.ERROR, Location(vertex=index),
+                    f"{spoc.question_type.value} main clause v{index} "
+                    f"has no WH term in its answer slot "
+                    f"({spoc.answer_role!r}); the answer variable is "
+                    "unbound",
+                    hint="the WH phrase must sit in the slot named by "
+                         "answer_role",
+                ))
+    return found
+
+
+@query_rule("QG006")
+def contradictory_bindings(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """Two providers feeding one consumer slot must be satisfiable.
+
+    The executor intersects the providers' label sets; when the two
+    providers' terms are provably unrelated (different heads, not
+    synonyms, no WH/ownership indirection) the intersection is almost
+    certainly empty and the consumer clause can never match.
+    """
+    valid = set(_valid_edges(graph))
+    providers: dict[tuple[int, str], list[int]] = {}
+    for src, dst, kind in graph.edges:
+        if (src, dst) not in valid:
+            continue
+        providers.setdefault(
+            (dst, kind.consumer_slot), []
+        ).append(src)
+    found: list[Diagnostic] = []
+    for (consumer, slot), sources in sorted(providers.items()):
+        if len(sources) < 2:
+            continue
+        terms = [_provider_term(graph, src, consumer, slot)
+                 for src in sources]
+        concrete = [t for t in terms if t is not None and not t.is_wh
+                    and t.owner is None and not t.kind_of]
+        for i in range(len(concrete)):
+            for j in range(i + 1, len(concrete)):
+                a, b = concrete[i], concrete[j]
+                if a.head.lower() == b.head.lower():
+                    continue
+                if context.are_synonyms(a.head, b.head):
+                    continue
+                found.append(Diagnostic(
+                    "QG006", Severity.WARNING,
+                    Location(vertex=consumer),
+                    f"consumer v{consumer} slot {slot!r} is bound by "
+                    f"unrelated providers ({a.head!r} vs {b.head!r}); "
+                    "the intersected label set is likely empty",
+                    hint="check the Connect stage's SO-overlap for "
+                         "these clauses",
+                ))
+    return found
+
+
+@query_rule("QG007")
+def unsatisfiable_constraints(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """Constraints must be resolvable and have a slot to group by."""
+    found: list[Diagnostic] = []
+    for index, spoc in enumerate(graph.vertices):
+        if spoc.constraint is None:
+            continue
+        if _safe_slot(spoc, spoc.answer_role) is None:
+            found.append(Diagnostic(
+                "QG007", Severity.ERROR, Location(vertex=index),
+                f"constraint {spoc.constraint!r} on v{index} groups by "
+                f"the {spoc.answer_role!r} slot, which is empty; the "
+                "constraint can never be satisfied",
+                hint="a constrained clause needs a term in its "
+                     "answer-role slot",
+            ))
+        elif context.constraint_score(spoc.constraint) < 0.5:
+            known = ", ".join(repr(w) for w in CONSTRAINT_WORDS)
+            found.append(Diagnostic(
+                "QG007", Severity.WARNING, Location(vertex=index),
+                f"constraint {spoc.constraint!r} on v{index} matches "
+                "no predefined constraint word; execution will "
+                "silently ignore it",
+                hint=f"known constraint words: {known}",
+            ))
+    return found
+
+
+@query_rule("QG008")
+def unknown_terms(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """Subject/object heads should come from the lexicon/taxonomy."""
+    found: list[Diagnostic] = []
+    for index, spoc in enumerate(graph.vertices):
+        for role in ("subject", "object"):
+            term = _safe_slot(spoc, role)
+            if term is None or term.is_wh:
+                continue
+            for word in _term_words(term):
+                if not context.knows(word):
+                    found.append(Diagnostic(
+                        "QG008", Severity.WARNING,
+                        Location(vertex=index),
+                        f"term {word!r} ({role} of v{index}) is outside "
+                        "the lexicon/taxonomy vocabulary; matchVertex "
+                        "will rely on fuzzy matching alone",
+                        hint="unknown foreign words are the Fig. 8(a) "
+                             "failure mode",
+                    ))
+    return found
+
+
+@query_rule("QG009")
+def degenerate_spocs(
+    graph: QueryGraph, context: QueryLintContext
+) -> list[Diagnostic]:
+    """Hand-built graphs may skip ``validate_spoc``; re-check here."""
+    found: list[Diagnostic] = []
+    for index, spoc in enumerate(graph.vertices):
+        if spoc.subject is None and spoc.object is None:
+            found.append(Diagnostic(
+                "QG009", Severity.ERROR, Location(vertex=index),
+                f"clause {index} has neither subject nor object: "
+                f"{spoc.source_text!r}",
+                hint="SPOC extraction produced an empty quadruple",
+            ))
+        if not spoc.predicate:
+            found.append(Diagnostic(
+                "QG009", Severity.ERROR, Location(vertex=index),
+                f"clause {index} has no predicate: "
+                f"{spoc.source_text!r}",
+                hint="the clause head's verb group is missing",
+            ))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _safe_slot(spoc: SPOC, role: str) -> Term | None:
+    if role not in ("subject", "object"):
+        return None
+    return spoc.slot(role)
+
+
+def _provider_term(
+    graph: QueryGraph, src: int, dst: int, consumer_slot: str
+) -> Term | None:
+    """The provider-side term that will flow into the consumer slot."""
+    for edge_src, edge_dst, kind in graph.edges:
+        if edge_src == src and edge_dst == dst \
+                and kind.consumer_slot == consumer_slot:
+            return _safe_slot(graph.vertices[src], kind.provider_slot)
+    return None
+
+
+def _term_words(term: Term) -> Iterable[str]:
+    """The words of a term that must resolve against the vocabulary.
+
+    Proper names (the ``owner`` of a possessive, capitalised heads)
+    are exempt — they match annotation labels, not the lexicon.
+    """
+    head = term.head
+    if head and not head[:1].isupper():
+        yield head
+
+
+__all__ = [
+    "QUERY_RULES",
+    "QueryLintContext",
+    "query_rule",
+]

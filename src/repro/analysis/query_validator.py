@@ -1,0 +1,108 @@
+"""Query-graph semantic validation (static-analysis layer 1).
+
+:class:`QueryGraphValidator` runs every registered ``QG###`` rule over
+a generated :class:`~repro.core.spoc.QueryGraph` *after* Algorithm 2
+and *before* Algorithm 3, so structurally broken graphs — the
+Fig. 8(a) failure mode — are attributed to a clause or edge instead of
+surfacing as an opaque execution failure.  Scene-graph QA systems
+(GraphVQA, Graphhopper) validate the reasoning program before
+traversal for the same reason: it is what makes multi-hop execution
+debuggable.
+
+The default :class:`~repro.analysis.query_rules.QueryLintContext`
+shares the executor's vocabulary and similarity machinery (lexicon,
+taxonomy, semlex synonym clusters, the constraint-word embedding
+match), so the validator predicts what execution will accept.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.query_rules import QUERY_RULES, QueryLintContext
+from repro.core.spoc import QueryGraph
+
+
+@lru_cache(maxsize=1)
+def _static_vocabulary() -> frozenset[str]:
+    """Lexicon + taxonomy vocabulary, lowercased (built once)."""
+    from repro.nlp.lexicon import NOUN_TABLE, build_lexicon
+    from repro.synth.taxonomy import category_names
+
+    words: set[str] = set()
+    for word, (_tag, lemma) in build_lexicon().items():
+        words.add(word.lower())
+        words.add(lemma.lower())
+    for singular, plural in NOUN_TABLE.items():
+        words.add(singular.lower())
+        words.add(plural.lower())
+    words.update(name.lower() for name in category_names())
+    return frozenset(words)
+
+
+@lru_cache(maxsize=1)
+def default_context() -> QueryLintContext:
+    """The context wired to the repo's own NLP machinery."""
+    from repro.nlp.embeddings import max_score
+    from repro.nlp.morphology import noun_singular
+    from repro.nlp.semlex import are_synonyms
+    from repro.core.spoc_extract import CONSTRAINT_WORDS
+
+    def constraint_score(text: str) -> float:
+        _word, score = max_score(text, list(CONSTRAINT_WORDS))
+        return score
+
+    return QueryLintContext(
+        known_terms=_static_vocabulary(),
+        are_synonyms=are_synonyms,
+        constraint_score=constraint_score,
+        singular=noun_singular,
+    )
+
+
+class QueryGraphValidator:
+    """Runs the ``QG###`` rule set over query graphs.
+
+    Parameters
+    ----------
+    context:
+        Vocabulary/similarity hooks; defaults to the repo's own.
+    rules:
+        Subset of rule ids to run; defaults to all registered rules.
+    """
+
+    def __init__(
+        self,
+        context: QueryLintContext | None = None,
+        rules: tuple[str, ...] | None = None,
+    ) -> None:
+        self.context = context if context is not None else default_context()
+        if rules is None:
+            self.rule_ids = tuple(sorted(QUERY_RULES))
+        else:
+            unknown = [r for r in rules if r not in QUERY_RULES]
+            if unknown:
+                raise ValueError(f"unknown query rule ids: {unknown}")
+            self.rule_ids = tuple(rules)
+
+    def validate(self, graph: QueryGraph) -> DiagnosticReport:
+        """All diagnostics for one graph, worst first."""
+        report = DiagnosticReport()
+        for rule_id in self.rule_ids:
+            report.extend(QUERY_RULES[rule_id](graph, self.context))
+        return report.sorted()
+
+
+def validate_query_graph(
+    graph: QueryGraph, context: QueryLintContext | None = None
+) -> DiagnosticReport:
+    """Convenience wrapper: validate one graph with the default rules."""
+    return QueryGraphValidator(context=context).validate(graph)
+
+
+__all__ = [
+    "QueryGraphValidator",
+    "default_context",
+    "validate_query_graph",
+]

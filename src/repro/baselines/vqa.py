@@ -56,7 +56,7 @@ class BaselineSpec:
     forward_seconds: float
     reliability: tuple[tuple[str, float], ...]
 
-    def reliability_for(self, qtype: "QuestionType") -> float:
+    def reliability_for(self, qtype: QuestionType) -> float:
         for name, value in self.reliability:
             if name == qtype.value:
                 return value

@@ -2,11 +2,13 @@
 
 Commands
 --------
-``ask``        answer one question over the movie scenario (Figure 1)
-``mvqa``       build MVQA and evaluate SVQA on it (Exp-1 / Table III)
-``bench``      concurrent batch benchmark + executor statistics
-``stats``      print the MVQA dataset statistics (Tables I & II)
-``parse``      show the query graph for a question (Algorithm 2)
+``ask``           answer one question over the movie scenario (Figure 1)
+``mvqa``          build MVQA and evaluate SVQA on it (Exp-1 / Table III)
+``bench``         concurrent batch benchmark + executor statistics
+``stats``         print the MVQA dataset statistics (Tables I & II)
+``parse``         show the query graph for a question (Algorithm 2)
+``lint-queries``  semantic-validate query graphs (MVQA sweep or ad hoc)
+``lint-code``     run the repo-invariant linter over the source tree
 """
 
 from __future__ import annotations
@@ -52,7 +54,7 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_mvqa_svqa(args: argparse.Namespace) -> tuple:
+def _build_mvqa_svqa(args: argparse.Namespace) -> tuple[object, SVQA]:
     from repro.dataset.mvqa import build_mvqa
 
     if args.fast:
@@ -114,6 +116,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ["predicate dropouts", str(stats.predicate_dropouts)],
             ["constraint applications",
              str(stats.constraint_applications)],
+            ["graphs validated", str(stats.graphs_validated)],
+            ["validation warnings", str(stats.validation_warnings)],
+            ["validation errors", str(stats.validation_errors)],
         ],
         title="Executor statistics",
     ))
@@ -146,6 +151,70 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           str(r.unique_spos), str(r.avg_images)] for r in rows],
     ))
     return 0
+
+
+def _cmd_lint_queries(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, validate_query_graph
+    from repro.errors import QueryParseError
+
+    if args.question:
+        questions = list(args.question)
+    else:
+        from repro.dataset.mvqa import build_mvqa
+
+        if args.fast:
+            dataset = build_mvqa(seed=5, pool_size=1_200, image_count=400)
+        else:
+            dataset = build_mvqa()
+        questions = [q.text for q in dataset.questions]
+
+    errors = warnings = parse_failures = clean = 0
+    for question in questions:
+        try:
+            graph = generate_query_graph(question)
+        except QueryParseError as exc:
+            # expected Fig. 8(a)/Fig. 9 behaviour: out-of-grammar
+            # questions are rejected at parse time, attributably
+            parse_failures += 1
+            where = ""
+            if exc.clause_index is not None:
+                where += f" clause {exc.clause_index}"
+            if exc.term is not None:
+                where += f" term {exc.term!r}"
+            print(f"PARSE-REJECTED{where}: {question}")
+            print(f"  {exc}")
+            continue
+        report = validate_query_graph(graph)
+        errors += report.count(Severity.ERROR)
+        warnings += report.count(Severity.WARNING)
+        if len(report) == 0:
+            clean += 1
+            continue
+        print(f"Q: {question}")
+        for diagnostic in report:
+            print(f"  {diagnostic.render()}")
+    print(
+        f"{len(questions)} question(s): {clean} clean, "
+        f"{warnings} warning(s), {errors} error(s), "
+        f"{parse_failures} parse rejection(s)"
+    )
+    if errors:
+        return 1
+    return 1 if parse_failures and args.strict_parse else 0
+
+
+def _cmd_lint_code(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import default_source_root, lint_paths
+
+    roots = [Path(p) for p in args.paths] if args.paths \
+        else [default_source_root()]
+    report = lint_paths(roots)
+    for diagnostic in report:
+        print(diagnostic.render())
+    print(report.summary())
+    return 1 if report.has_errors else 0
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
@@ -192,6 +261,32 @@ def main(argv: list[str] | None = None) -> int:
                                                   "query graph")
     parse_cmd.add_argument("question")
     parse_cmd.set_defaults(handler=_cmd_parse)
+
+    lint_queries = commands.add_parser(
+        "lint-queries",
+        help="semantic-validate query graphs (defaults to the 100 "
+             "MVQA questions)",
+    )
+    lint_queries.add_argument("question", nargs="*", default=None,
+                              help="ad hoc questions to lint instead "
+                                   "of the MVQA sweep")
+    lint_queries.add_argument("--fast", action="store_true",
+                              help="build the reduced MVQA pool")
+    lint_queries.add_argument("--strict-parse", action="store_true",
+                              help="treat parse rejections (the "
+                                   "expected Fig. 8(a) failures) as "
+                                   "lint errors")
+    lint_queries.set_defaults(handler=_cmd_lint_queries)
+
+    lint_code = commands.add_parser(
+        "lint-code",
+        help="run the repo-invariant linter (RP001-RP005) over the "
+             "source tree",
+    )
+    lint_code.add_argument("paths", nargs="*", default=None,
+                           help="files or directories to lint "
+                                "(default: the repro package)")
+    lint_code.set_defaults(handler=_cmd_lint_code)
 
     args = parser.parse_args(argv)
     return args.handler(args)

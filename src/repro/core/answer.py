@@ -9,6 +9,7 @@ produced.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.graph import RelationPair
@@ -41,7 +42,7 @@ class Answer:
 def final_answer(
     spoc: SPOC,
     pairs: list[RelationPair],
-    kind_filter=None,
+    kind_filter: Callable[[str, str], bool] | None = None,
     kind_min_images: int = 3,
 ) -> Answer:
     """Aggregate the main clause's answer pairs into an Answer.
@@ -68,7 +69,7 @@ def final_answer(
             # kind counting ignores labels with single-image support —
             # one hallucinated edge must not add a "kind"
             images_per_label: dict[str, set] = {}
-            for pair, vertex in zip(pairs, answer_vertices):
+            for pair, vertex in zip(pairs, answer_vertices, strict=True):
                 evidence = pair.edge.props.get("image_id", pair.edge.id)
                 images_per_label.setdefault(vertex.label,
                                             set()).add(evidence)
@@ -91,7 +92,7 @@ def final_answer(
         return Answer(qtype, "unknown", [])
     winner = Counter(labels).most_common(1)[0][0]
     support = [
-        pair for pair, vertex in zip(pairs, answer_vertices)
+        pair for pair, vertex in zip(pairs, answer_vertices, strict=True)
         if vertex.label == winner
     ]
     return Answer(qtype, winner, support)

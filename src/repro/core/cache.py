@@ -29,7 +29,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable
+from collections.abc import Callable, Hashable
+from typing import Any
 
 
 class EvictingCache:
@@ -180,7 +181,9 @@ class KeyCentricCache:
     path: EvictingCache
     enabled_scope: bool = True
     enabled_path: bool = True
-    _inflight: dict = field(default_factory=dict, init=False, repr=False)
+    _inflight: dict[Hashable, _InFlight] = field(
+        default_factory=dict, init=False, repr=False
+    )
     _inflight_lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False
     )
@@ -192,7 +195,7 @@ class KeyCentricCache:
         policy: str = "lfu",
         enabled_scope: bool = True,
         enabled_path: bool = True,
-    ) -> "KeyCentricCache":
+    ) -> KeyCentricCache:
         return cls(
             scope=make_cache(policy, pool_size),
             path=make_cache(policy, pool_size),
@@ -201,7 +204,7 @@ class KeyCentricCache:
         )
 
     @classmethod
-    def disabled(cls) -> "KeyCentricCache":
+    def disabled(cls) -> KeyCentricCache:
         return cls.create(pool_size=0, enabled_scope=False,
                           enabled_path=False)
 
@@ -294,6 +297,6 @@ class CacheReport:
     path_misses: int
 
     @classmethod
-    def from_cache(cls, cache: KeyCentricCache) -> "CacheReport":
+    def from_cache(cls, cache: KeyCentricCache) -> CacheReport:
         return cls(cache.scope.hits, cache.scope.misses,
                    cache.path.hits, cache.path.misses)

@@ -44,7 +44,7 @@ def segment_clauses(tree: DependencyTree) -> list[Clause]:
     frontier = [tree.root]
     while frontier:
         current = frontier.pop(0)
-        for index, (head, label) in enumerate(zip(tree.heads, tree.labels)):
+        for index, (head, label) in enumerate(zip(tree.heads, tree.labels, strict=True)):
             if label not in {"acl", "acl:relcl"}:
                 continue
             if index in depth_of:

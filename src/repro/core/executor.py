@@ -25,8 +25,14 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.errors import ExecutionError
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import DiagnosticReport
+    from repro.analysis.query_validator import QueryGraphValidator
+    from repro.graph.model import Edge
+
+from repro.errors import ExecutionError, QueryValidationError
 from repro.graph import Graph, RelationPair, Vertex, relations_between
 from repro.nlp.dword import within_distance
 from repro.nlp.embeddings import max_score, rank_scores
@@ -45,13 +51,26 @@ from repro.dataset.kg import INSTANCE_OF, IS_A
 _STRUCTURAL_LABELS = frozenset({INSTANCE_OF, IS_A})
 
 
+#: legal values of :attr:`ExecutorConfig.validation`
+VALIDATION_MODES: frozenset[str] = frozenset({"off", "warn", "strict"})
+
+
 @dataclass
 class ExecutorConfig:
-    """Matching thresholds of Algorithm 3."""
+    """Matching thresholds of Algorithm 3 plus validation policy.
+
+    ``validation`` controls the pre-execution semantic validator
+    (:mod:`repro.analysis.query_validator`): ``"warn"`` (default)
+    records diagnostic counts in :class:`ExecutorStats` and proceeds,
+    ``"strict"`` fails fast with
+    :class:`~repro.errors.QueryValidationError` when a graph carries
+    ERROR diagnostics, ``"off"`` skips validation entirely.
+    """
 
     ld_threshold: float = 0.34        # normalized-Levenshtein cutoff
     predicate_threshold: float = 0.55  # cosine floor for edge labels
     expansion_hops: int = 2           # "is a" hops in matchVertex
+    validation: str = "warn"          # off | warn | strict
 
 
 @dataclass
@@ -95,7 +114,15 @@ class QueryGraphExecutor:
         self.cache = cache if cache is not None else KeyCentricCache.disabled()
         self.clock = clock
         self.config = config or ExecutorConfig()
+        if self.config.validation not in VALIDATION_MODES:
+            raise ValueError(
+                f"unknown validation mode: {self.config.validation!r} "
+                f"(expected one of {sorted(VALIDATION_MODES)})"
+            )
         self.stats = stats
+        # built lazily on first validated query (import cycle: the
+        # analysis package depends on the core SPOC model)
+        self._validator: QueryGraphValidator | None = None
         self._relation_labels = [
             label for label in merged.edge_labels
             if label not in _STRUCTURAL_LABELS
@@ -104,8 +131,44 @@ class QueryGraphExecutor:
     # ------------------------------------------------------------------
     # Algorithm 3 main loop
     # ------------------------------------------------------------------
+    def validate(self, query_graph: QueryGraph) -> DiagnosticReport:
+        """Run the semantic validator over one graph (layer-1 static
+        analysis), recording diagnostic counts in the stats collector.
+
+        Returns the
+        :class:`~repro.analysis.diagnostics.DiagnosticReport`; raises
+        :class:`~repro.errors.QueryValidationError` in ``"strict"``
+        mode when the graph carries ERROR diagnostics.
+        """
+        if self._validator is None:
+            # imported lazily: repro.analysis depends on repro.core's
+            # SPOC model, so a module-level import would be circular
+            from repro.analysis.query_validator import QueryGraphValidator
+
+            self._validator = QueryGraphValidator()
+        report = self._validator.validate(query_graph)
+        if self.stats is not None:
+            self.stats.record_validation(
+                len(report.errors), len(report.warnings)
+            )
+        if self.config.validation == "strict" and report.has_errors:
+            summary = "; ".join(d.render() for d in report.errors)
+            raise QueryValidationError(
+                f"query graph failed semantic validation: {summary}",
+                diagnostics=report,
+            )
+        return report
+
     def execute(self, query_graph: QueryGraph) -> Answer:
-        """Run one query graph and produce the final answer."""
+        """Run one query graph and produce the final answer.
+
+        When :attr:`ExecutorConfig.validation` is not ``"off"``, the
+        graph first passes through the semantic validator — broken
+        wiring is reported (or, in strict mode, rejected) before
+        Algorithm 3 touches the merged graph.
+        """
+        if self.config.validation != "off":
+            self.validate(query_graph)
         bindings: dict[int, dict[str, list[str] | None]] = {
             i: {"subject": None, "object": None}
             for i in range(len(query_graph.vertices))
@@ -373,7 +436,7 @@ class QueryGraphExecutor:
 
     def _slot_key(
         self, term: Term | None, bound: list[str] | None
-    ) -> tuple:
+    ) -> tuple[str, ...]:
         if bound is not None:
             return tuple(sorted(label.lower() for label in bound))
         if term is None:
@@ -513,7 +576,7 @@ def _category_set() -> frozenset[str]:
 _CATEGORY_SET = _category_set()
 
 
-def _virtual_edge(subject: Vertex, obj: Vertex):
+def _virtual_edge(subject: Vertex, obj: Vertex) -> Edge:
     """A synthetic identity edge for label-equality "be" matches."""
     from repro.graph.model import Edge
 

@@ -208,7 +208,7 @@ class SVQA:
         """Scope/path hit statistics accumulated so far."""
         return CacheReport.from_cache(self._cache)
 
-    def execution_report(self) -> "ExecutionReport":
+    def execution_report(self) -> ExecutionReport:
         """Successor of :meth:`cache_report`: cache hit statistics
         plus the executor's observability counters and (when
         ``answer_many`` has run) the latest batch's latency figures."""

@@ -38,7 +38,11 @@ def generate_query_graph(
     try:
         tree = parse(question)
     except ParseError as exc:
-        raise QueryParseError(f"cannot parse question: {exc}") from exc
+        # forward the offending term so Fig. 8(a)-style failures stay
+        # attributable through the wrapping
+        raise QueryParseError(
+            f"cannot parse question: {exc}", term=exc.term
+        ) from exc
     return query_graph_from_tree(tree, question, clock)
 
 

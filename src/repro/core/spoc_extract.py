@@ -260,14 +260,24 @@ def _wh_is_counting(tree: DependencyTree, spoc: SPOC, role: str) -> bool:
 
 
 def validate_spoc(spoc: SPOC) -> None:
-    """Reject degenerate SPOCs early with a clear error."""
+    """Reject degenerate SPOCs early with a clear, attributable error.
+
+    The raised :class:`~repro.errors.QueryParseError` carries the
+    clause index and the offending clause text as structured
+    attributes, so Fig. 8(a)-style failures point at a specific
+    clause.
+    """
     if spoc.subject is None and spoc.object is None:
         raise QueryParseError(
             f"clause {spoc.clause_index} has neither subject nor object: "
-            f"{spoc.source_text!r}"
+            f"{spoc.source_text!r}",
+            clause_index=spoc.clause_index,
+            term=spoc.source_text,
         )
     if not spoc.predicate:
         raise QueryParseError(
             f"clause {spoc.clause_index} has no predicate: "
-            f"{spoc.source_text!r}"
+            f"{spoc.source_text!r}",
+            clause_index=spoc.clause_index,
+            term=spoc.source_text,
         )

@@ -34,6 +34,9 @@ class ExecutorStatsReport:
     predicate_rejections: int      # pairs dropped by maxScore filtering
     predicate_dropouts: int        # vertices where *every* pair dropped
     constraint_applications: int   # constraints that narrowed a result
+    graphs_validated: int = 0      # query graphs run through the validator
+    validation_errors: int = 0     # ERROR diagnostics across all graphs
+    validation_warnings: int = 0   # WARNING diagnostics across all graphs
 
     @property
     def scope_hit_rate(self) -> float:
@@ -66,6 +69,9 @@ class ExecutorStats:
         self._predicate_rejections = 0
         self._predicate_dropouts = 0
         self._constraint_applications = 0
+        self._graphs_validated = 0
+        self._validation_errors = 0
+        self._validation_warnings = 0
 
     def record_query(self, vertex_count: int) -> None:
         with self._lock:
@@ -99,6 +105,13 @@ class ExecutorStats:
         with self._lock:
             self._constraint_applications += 1
 
+    def record_validation(self, errors: int, warnings: int) -> None:
+        """One query graph went through the semantic validator."""
+        with self._lock:
+            self._graphs_validated += 1
+            self._validation_errors += errors
+            self._validation_warnings += warnings
+
     def reset(self) -> None:
         with self._lock:
             self._queries = 0
@@ -108,6 +121,9 @@ class ExecutorStats:
             self._predicate_rejections = 0
             self._predicate_dropouts = 0
             self._constraint_applications = 0
+            self._graphs_validated = 0
+            self._validation_errors = 0
+            self._validation_warnings = 0
 
     def snapshot(self) -> ExecutorStatsReport:
         with self._lock:
@@ -123,4 +139,7 @@ class ExecutorStats:
                 predicate_rejections=self._predicate_rejections,
                 predicate_dropouts=self._predicate_dropouts,
                 constraint_applications=self._constraint_applications,
+                graphs_validated=self._graphs_validated,
+                validation_errors=self._validation_errors,
+                validation_warnings=self._validation_warnings,
             )

@@ -17,6 +17,7 @@ properties:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -457,7 +458,8 @@ class QuestionGenerator:
         return True
 
 
-def _shuffled(rng: np.random.Generator, items) -> list:
+def _shuffled(rng: np.random.Generator,
+              items: Iterable[str]) -> list[str]:
     result = list(items)
     rng.shuffle(result)
     return result

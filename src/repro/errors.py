@@ -62,7 +62,16 @@ class TokenizationError(NLPError, ValueError):
 
 
 class ParseError(NLPError):
-    """Dependency parsing failed to produce a tree."""
+    """Dependency parsing failed to produce a tree.
+
+    ``term`` optionally names the offending surface word (e.g. the
+    unknown foreign word of the Fig. 8(a) failure mode) so callers can
+    attribute the failure without parsing the message.
+    """
+
+    def __init__(self, message: str, *, term: str | None = None) -> None:
+        super().__init__(message)
+        self.term = term
 
 
 class QueryError(ReproError):
@@ -70,7 +79,38 @@ class QueryError(ReproError):
 
 
 class QueryParseError(QueryError):
-    """A complex question could not be decomposed into a query graph."""
+    """A complex question could not be decomposed into a query graph.
+
+    Structured attribution for diagnostics: ``clause_index`` is the
+    index of the clause that failed (``None`` when the failure
+    precedes clause segmentation) and ``term`` is the offending
+    term/text, so validator output and Fig. 8(a)-style failures point
+    at a specific clause instead of only a prose message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        clause_index: int | None = None,
+        term: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.clause_index = clause_index
+        self.term = term
+
+
+class QueryValidationError(QueryError):
+    """A query graph failed semantic validation in fail-fast mode.
+
+    ``diagnostics`` holds the full
+    :class:`~repro.analysis.diagnostics.DiagnosticReport` so callers
+    can render or filter the individual findings.
+    """
+
+    def __init__(self, message: str, diagnostics: object = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class ExecutionError(QueryError):

@@ -6,7 +6,7 @@ benchmark output (the rows the paper's tables print).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.answer import Answer
 from repro.core.spoc import QuestionType
@@ -51,7 +51,7 @@ def evaluate(
         )
     report = AccuracyReport()
     failures: list[tuple[MVQAQuestion, str]] = []
-    for question, answer in zip(questions, answers):
+    for question, answer in zip(questions, answers, strict=True):
         ok = answers_match(answer.value, question.answer,
                            question.question_type)
         report.record(question.question_type, ok)
@@ -72,11 +72,11 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True))
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
-        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

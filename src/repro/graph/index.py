@@ -8,7 +8,7 @@ full vertex scan.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 
 class LabelIndex:

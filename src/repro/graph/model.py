@@ -15,7 +15,8 @@ instances of this model, so we implement it once with:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from collections.abc import Iterable, Iterator
+from typing import Any
 
 from repro.errors import DuplicateVertexError, EdgeNotFoundError, VertexNotFoundError
 from repro.graph.index import LabelIndex

@@ -85,7 +85,7 @@ def load_graph(path: str | Path) -> Graph:
     return graph
 
 
-def _parse_line(line: str, path: Path, lineno: int) -> dict:
+def _parse_line(line: str, path: Path, lineno: int) -> dict[str, object]:
     try:
         record = json.loads(line)
     except json.JSONDecodeError as exc:

@@ -10,7 +10,7 @@ count as one hop between the two vertices).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from repro.graph.model import Graph
 

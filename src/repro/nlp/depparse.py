@@ -69,7 +69,7 @@ class DependencyTree:
     def children(self, head: int, label: str | None = None) -> list[int]:
         """Dependent indices of ``head`` (optionally filtered by label)."""
         return [
-            i for i, (h, lab) in enumerate(zip(self.heads, self.labels))
+            i for i, (h, lab) in enumerate(zip(self.heads, self.labels, strict=True))
             if h == head and (label is None or lab == label)
         ]
 
@@ -212,7 +212,7 @@ def _merge_multiword_prepositions(tagged: list[TaggedToken]) -> list[TaggedToken
         for mwe in MULTIWORD_PREPOSITIONS:
             span = tagged[i:i + len(mwe)]
             if len(span) == len(mwe) and all(
-                t.lower == w for t, w in zip(span, mwe)
+                t.lower == w for t, w in zip(span, mwe, strict=True)
             ):
                 hit = mwe
                 break
@@ -237,7 +237,8 @@ def _reject_foreign_heads(tokens: list[TaggedToken]) -> None:
                                  prev.tag in ADJ_TAGS):
             raise ParseError(
                 f"cannot parse: unknown foreign word {token.text!r} "
-                f"in a noun position (POS tag FW)"
+                f"in a noun position (POS tag FW)",
+                term=token.text,
             )
 
 
@@ -446,7 +447,8 @@ def _attach(
             if anchor is None:
                 raise ParseError(
                     f"relative clause at {tokens[group.main].text!r} "
-                    "has no noun to attach to"
+                    "has no noun to attach to",
+                    term=tokens[group.main].text,
                 )
             arcs.attach(group.main, anchor, "acl:relcl")
             label = "nsubj:pass" if group.passive else "nsubj"

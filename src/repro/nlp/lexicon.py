@@ -134,7 +134,7 @@ def verb_form_index() -> dict[str, tuple[str, str]]:
     index: dict[str, tuple[str, str]] = {}
     for lemma, forms in VERB_TABLE.items():
         index.setdefault(lemma, ("VB", lemma))
-        for tag, form in zip(_TAG_SLOTS, forms):
+        for tag, form in zip(_TAG_SLOTS, forms, strict=True):
             index.setdefault(form, (tag, lemma))
     return index
 

@@ -93,9 +93,8 @@ def detokenize(tokens: list[Token]) -> str:
     """Rebuild readable text from tokens (clitics and punctuation reattach)."""
     parts: list[str] = []
     for token in tokens:
-        if token.text in {"'s", "n't"} or (token.is_punct and parts):
-            if parts:
-                parts[-1] += token.text
-                continue
+        if parts and (token.text in {"'s", "n't"} or token.is_punct):
+            parts[-1] += token.text
+            continue
         parts.append(token.text)
     return " ".join(parts)

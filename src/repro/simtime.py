@@ -105,7 +105,7 @@ class SimClock:
         self.elapsed = 0.0
         self.counts.clear()
 
-    def fork(self) -> "SimClock":
+    def fork(self) -> SimClock:
         """A fresh zeroed clock sharing this clock's cost table.
 
         Concurrent batch execution gives every worker thread its own
@@ -114,7 +114,7 @@ class SimClock:
         """
         return SimClock(costs=dict(self.costs))
 
-    def merge(self, other: "SimClock") -> None:
+    def merge(self, other: SimClock) -> None:
         """Fold another clock's charges into this one.
 
         Elapsed times add up (total simulated *work*, not wall time —
@@ -125,7 +125,7 @@ class SimClock:
         for operation, count in other.counts.items():
             self.counts[operation] = self.counts.get(operation, 0) + count
 
-    def snapshot(self) -> "ClockSnapshot":
+    def snapshot(self) -> ClockSnapshot:
         """Capture the current elapsed time for later interval measurement."""
         return ClockSnapshot(self, self.elapsed)
 

@@ -56,7 +56,7 @@ class Box:
     def center(self) -> tuple[float, float]:
         return (self.x + self.w / 2.0, self.y + self.h / 2.0)
 
-    def clipped(self, size: int = CANVAS) -> "Box":
+    def clipped(self, size: int = CANVAS) -> Box:
         """Clip to the canvas."""
         x = max(0, min(self.x, size - 1))
         y = max(0, min(self.y, size - 1))
@@ -152,7 +152,7 @@ class SyntheticScene:
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
-    def render(self) -> "Raster":
+    def render(self) -> Raster:
         """Paint the scene to label/instance rasters.
 
         Farther objects (higher depth) paint first, so closer objects

@@ -54,7 +54,7 @@ class FeatureMap:
         start = GEOMETRY_DIM + APPEARANCE_DIM + len(RELATIONS)
         return self.vector[start:]
 
-    def masked(self) -> "FeatureMap":
+    def masked(self) -> FeatureMap:
         """The TDE mask: interaction signals zeroed, geometry kept."""
         vector = self.vector.copy()
         vector[GEOMETRY_DIM + APPEARANCE_DIM:] = 0.0

@@ -81,7 +81,7 @@ def mean_recall_at(
     output: dict[int, float] = {}
     for k in ks:
         counts = RecallCounts(hits={}, totals={})
-        for result, scene in zip(results, scenes):
+        for result, scene in zip(results, scenes, strict=True):
             evaluate_scene(result, scene, k, counts)
         output[k] = counts.mean_recall()
     return output

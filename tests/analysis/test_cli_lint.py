@@ -1,0 +1,50 @@
+"""CLI tests for ``repro lint-queries`` and ``repro lint-code``."""
+
+import textwrap
+
+from repro.cli import main
+
+
+class TestLintQueriesCommand:
+    def test_clean_question_exits_zero(self, capsys):
+        code = main(["lint-queries", "Is there a dog near the fence?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 question(s): 1 clean" in out
+
+    def test_parse_rejection_is_reported_not_fatal(self, capsys):
+        code = main(["lint-queries",
+                     "Is there a canis near the fence?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PARSE-REJECTED" in out
+        assert "'canis'" in out
+
+    def test_strict_parse_gates_on_rejections(self, capsys):
+        code = main(["lint-queries", "--strict-parse",
+                     "Is there a canis near the fence?"])
+        assert code == 1
+
+
+class TestLintCodeCommand:
+    def test_repo_source_is_clean(self, capsys):
+        code = main(["lint-code"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "hot.py"
+        bad.parent.mkdir()
+        bad.write_text(textwrap.dedent(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        ))
+        code = main(["lint-code", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[RP001]" in out

@@ -1,0 +1,93 @@
+"""Tests for the shared diagnostic model."""
+
+from repro.analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+)
+
+
+def diag(rule_id="QG001", severity=Severity.ERROR, **loc):
+    return Diagnostic(rule_id, severity, Location(**loc),
+                      f"finding from {rule_id}")
+
+
+class TestSeverity:
+    def test_ordering_lets_max_pick_worst(self):
+        assert max(Severity.INFO, Severity.ERROR,
+                   Severity.WARNING) is Severity.ERROR
+
+    def test_str_is_the_name(self):
+        assert str(Severity.WARNING) == "WARNING"
+
+
+class TestLocation:
+    def test_code_location_renders_file_line_column(self):
+        loc = Location(file="src/x.py", line=12, column=4)
+        assert str(loc) == "src/x.py:12:4"
+
+    def test_graph_location_renders_vertex_and_edge(self):
+        assert str(Location(vertex=2)) == "v2"
+        assert str(Location(edge=(0, 3))) == "edge v0->v3"
+
+    def test_empty_location_is_graph_wide(self):
+        assert str(Location()) == "<graph>"
+
+
+class TestDiagnostic:
+    def test_render_includes_rule_severity_and_hint(self):
+        d = Diagnostic("RP001", Severity.ERROR,
+                       Location(file="a.py", line=3),
+                       "wall-clock read", hint="use SimClock")
+        text = d.render()
+        assert "a.py:3" in text
+        assert "ERROR" in text
+        assert "[RP001]" in text
+        assert "hint: use SimClock" in text
+
+    def test_render_omits_empty_hint(self):
+        assert "hint" not in diag().render()
+
+
+class TestDiagnosticReport:
+    def test_counts_and_gate(self):
+        report = DiagnosticReport()
+        report.add(diag(severity=Severity.ERROR))
+        report.add(diag("QG008", Severity.WARNING))
+        report.add(diag("QG008", Severity.WARNING))
+        assert report.count(Severity.ERROR) == 1
+        assert report.count(Severity.WARNING) == 2
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 2
+        assert report.has_errors
+        assert len(report) == 3
+
+    def test_empty_report_does_not_gate(self):
+        assert not DiagnosticReport().has_errors
+
+    def test_extend_accepts_report_and_list(self):
+        report = DiagnosticReport()
+        other = DiagnosticReport([diag()])
+        report.extend(other)
+        report.extend([diag("QG002")])
+        assert len(report) == 2
+
+    def test_by_rule_and_rule_ids(self):
+        report = DiagnosticReport(
+            [diag("QG002"), diag("QG001"), diag("QG002")]
+        )
+        assert len(report.by_rule("QG002")) == 2
+        assert report.rule_ids() == ["QG002", "QG001"]
+
+    def test_sorted_puts_errors_first(self):
+        report = DiagnosticReport([
+            diag("QG008", Severity.WARNING, vertex=0),
+            diag("QG001", Severity.ERROR, vertex=5),
+        ])
+        ordered = report.sorted()
+        assert [d.rule_id for d in ordered] == ["QG001", "QG008"]
+
+    def test_summary_tallies_by_severity(self):
+        report = DiagnosticReport([diag(), diag("X", Severity.WARNING)])
+        assert report.summary() == "1 error(s), 1 warning(s), 0 note(s)"

@@ -18,7 +18,7 @@ def chain():
     """0 -> 1 -> 2 -> 3 -> 4"""
     g = Graph()
     ids = [g.add_vertex(str(i)).id for i in range(5)]
-    for a, b in zip(ids, ids[1:]):
+    for a, b in zip(ids, ids[1:], strict=False):
         g.add_edge(a, b, "next")
     return g, ids
 

@@ -14,7 +14,7 @@ class TestDeterminism:
     def test_same_seed_same_pool(self):
         a = SceneGenerator(seed=11).generate_pool(20)
         b = SceneGenerator(seed=11).generate_pool(20)
-        for sa, sb in zip(a, b):
+        for sa, sb in zip(a, b, strict=True):
             assert sa.categories == sb.categories
             assert [(r.src, r.dst, r.predicate) for r in sa.relations] == \
                 [(r.src, r.dst, r.predicate) for r in sb.relations]
@@ -22,7 +22,7 @@ class TestDeterminism:
     def test_different_seed_differs(self):
         a = SceneGenerator(seed=1).generate_pool(30)
         b = SceneGenerator(seed=2).generate_pool(30)
-        assert any(sa.categories != sb.categories for sa, sb in zip(a, b))
+        assert any(sa.categories != sb.categories for sa, sb in zip(a, b, strict=True))
 
 
 class TestPoolShape:

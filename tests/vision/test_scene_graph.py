@@ -75,7 +75,7 @@ class TestMeanRecall:
     def test_mr_in_unit_interval(self, scenes, pipeline):
         results = pipeline.run_many(scenes)
         mr = mean_recall_at(results, scenes)
-        for k, value in mr.items():
+        for value in mr.values():
             assert 0.0 <= value <= 1.0
 
     def test_mr_monotone_in_k(self, scenes, pipeline):
