@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
-.PHONY: test lint lint-analysis bench
+.PHONY: test lint lint-analysis bench chaos
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -13,7 +13,7 @@ lint:
 	fi
 
 # the in-repo static-analysis gates: the repo-invariant linter
-# (RP001-RP005), the query-graph validator sweep over MVQA, and mypy
+# (RP001-RP006), the query-graph validator sweep over MVQA, and mypy
 # (when installed — CI always runs it)
 lint-analysis:
 	PYTHONPATH=src python -m repro lint-code
@@ -26,3 +26,8 @@ lint-analysis:
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks --benchmark-only -s
+
+# seeded fault-injection sweep over MVQA: accuracy must decay
+# gracefully (no unhandled exception, every degraded answer attributed)
+chaos:
+	PYTHONPATH=src python -m repro chaos --fast

@@ -12,7 +12,7 @@ Two analysis layers share one :class:`Diagnostic` model:
   (:mod:`repro.analysis.code_linter`): AST rules enforcing the repo's
   concurrency/determinism invariants — SimClock-only timing, seeded
   RNGs, lock discipline, deterministic iteration, no mutable defaults
-  (rules ``RP001``-``RP005``).
+  (rules ``RP001``-``RP006``).
 
 Entry points: ``repro lint-queries`` and ``repro lint-code``.
 """
@@ -28,6 +28,7 @@ from repro.analysis.code_linter import (
 from repro.analysis.code_rules import (
     ALL_CODE_RULES,
     CodeRule,
+    FaultSiteDisciplineRule,
     LockDisciplineRule,
     MutableDefaultRule,
     OrderedIterationRule,
@@ -52,6 +53,7 @@ __all__ = [
     "CodeRule",
     "Diagnostic",
     "DiagnosticReport",
+    "FaultSiteDisciplineRule",
     "Location",
     "LockDisciplineRule",
     "MutableDefaultRule",

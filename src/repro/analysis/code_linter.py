@@ -16,6 +16,7 @@ import ast
 
 from repro.analysis.code_rules import (
     CodeRule,
+    FaultSiteDisciplineRule,
     LockDisciplineRule,
     MutableDefaultRule,
     OrderedIterationRule,
@@ -62,7 +63,10 @@ def default_bindings() -> tuple[RuleBinding, ...]:
     * RP002 and RP005 everywhere;
     * RP003 in the lock-disciplined shared-state modules;
     * RP004 in the hot paths whose iteration order feeds ordered
-      output (the scheduler order doubles as batch submission order).
+      output (the scheduler order doubles as batch submission order);
+    * RP006 everywhere: failures are absorbed only through the
+      resilience guard, and guard call sites may only name registered
+      fault sites.
     """
     return (
         RuleBinding(
@@ -73,7 +77,9 @@ def default_bindings() -> tuple[RuleBinding, ...]:
         RuleBinding(
             LockDisciplineRule(),
             paths=("repro/core/cache.py", "repro/core/stats.py",
-                   "repro/core/batch.py"),
+                   "repro/core/batch.py",
+                   "repro/resilience/breaker.py",
+                   "repro/resilience/manager.py"),
         ),
         RuleBinding(
             OrderedIterationRule(),
@@ -81,6 +87,7 @@ def default_bindings() -> tuple[RuleBinding, ...]:
                    "repro/core/batch.py", "repro/core/query_graph.py"),
         ),
         RuleBinding(MutableDefaultRule()),
+        RuleBinding(FaultSiteDisciplineRule()),
     )
 
 

@@ -26,6 +26,14 @@ RP004     ERROR      scheduler/executor hot paths must not iterate a
                      set order feeds ordered output and must be
                      deterministic
 RP005     ERROR      no mutable default arguments
+RP006     ERROR      failure handling goes through the resilience
+                     registry: no silently-swallowed exceptions
+                     (``except Exception:``/bare ``except`` whose body
+                     only ``pass``/``continue``-es), and fault-site
+                     string literals handed to the resilience guard
+                     (``*.call(...)`` / ``*.check(...)`` on a
+                     manager/injector) must be registered in
+                     :data:`repro.resilience.faults.FAULT_SITES`
 ========  =========  ====================================================
 
 Every rule is an :class:`ast.NodeVisitor`-based :class:`CodeRule`
@@ -450,6 +458,115 @@ class MutableDefaultRule(CodeRule):
         return False
 
 
+class FaultSiteDisciplineRule(CodeRule):
+    """RP006: failures are handled through the resilience registry.
+
+    Two checks:
+
+    * a handler for ``Exception`` (or a bare ``except``) whose body
+      does nothing but ``pass``/``continue``/``...`` swallows failures
+      without attribution — the resilience guard exists precisely so
+      every absorbed failure leaves a :class:`FaultEvent` trail;
+    * a string literal passed as the site argument of a resilience
+      guard call (``<manager>.call(...)``, ``<injector>.check(...)``,
+      ``<injector>.would_fault(...)``) must name a registered
+      :data:`~repro.resilience.faults.FAULT_SITES` entry, so typos
+      cannot silently disable injection at a site.
+    """
+
+    rule_id = "RP006"
+    description = ("no silent `except Exception: pass`; fault-site "
+                   "literals must be registered in FAULT_SITES")
+
+    #: guard method names whose first argument is a fault-site name
+    GUARD_METHODS: frozenset[str] = frozenset({
+        "call", "check", "would_fault",
+    })
+    #: receiver-name fragments that identify the resilience guard
+    GUARD_RECEIVERS: tuple[str, ...] = ("resilience", "injector", "manager")
+
+    def check(self, tree: ast.Module, path: str) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                found.extend(self._check_handler(node, path))
+            elif isinstance(node, ast.Call):
+                found.extend(self._check_guard_call(node, path))
+        return found
+
+    def _check_handler(
+        self, handler: ast.ExceptHandler, path: str
+    ) -> list[Diagnostic]:
+        if not self._catches_everything(handler.type):
+            return []
+        if not all(isinstance(stmt, (ast.Pass, ast.Continue))
+                   or (isinstance(stmt, ast.Expr)
+                       and isinstance(stmt.value, ast.Constant)
+                       and stmt.value.value is Ellipsis)
+                   for stmt in handler.body):
+            return []
+        caught = "bare except" if handler.type is None             else "except Exception"
+        return [self.diagnostic(
+            path, handler,
+            f"{caught} with a pass-only body silently swallows "
+            "failures",
+            hint="absorb failures through the resilience guard "
+                 "(ResilienceManager.call with a fallback) so the "
+                 "incident is attributed, or catch the specific "
+                 "ReproError subclass and handle it",
+        )]
+
+    @staticmethod
+    def _catches_everything(exc_type: ast.expr | None) -> bool:
+        if exc_type is None:
+            return True
+        names = exc_type.elts if isinstance(exc_type, ast.Tuple)             else [exc_type]
+        return any(isinstance(name, ast.Name)
+                   and name.id in ("Exception", "BaseException")
+                   for name in names)
+
+    def _check_guard_call(
+        self, node: ast.Call, path: str
+    ) -> list[Diagnostic]:
+        func = node.func
+        if not isinstance(func, ast.Attribute)                 or func.attr not in self.GUARD_METHODS:
+            return []
+        receiver = self._dotted(func.value)
+        if receiver is None or not any(
+            fragment in receiver.lower()
+            for fragment in self.GUARD_RECEIVERS
+        ):
+            return []
+        if not node.args:
+            return []
+        site = node.args[0]
+        if not isinstance(site, ast.Constant)                 or not isinstance(site.value, str):
+            return []
+        from repro.resilience.faults import FAULT_SITES
+
+        if site.value in FAULT_SITES:
+            return []
+        return [self.diagnostic(
+            path, site,
+            f"unregistered fault site {site.value!r} passed to the "
+            f"resilience guard {receiver}.{func.attr}()",
+            hint="register the site in repro.resilience.faults."
+                 "FAULT_SITES (the closed registry chaos sweeps "
+                 "iterate) or fix the typo",
+        )]
+
+    @staticmethod
+    def _dotted(node: ast.expr) -> str | None:
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+
 #: every invariant rule, in id order
 ALL_CODE_RULES: tuple[type[CodeRule], ...] = (
     WallClockRule,
@@ -457,12 +574,14 @@ ALL_CODE_RULES: tuple[type[CodeRule], ...] = (
     LockDisciplineRule,
     OrderedIterationRule,
     MutableDefaultRule,
+    FaultSiteDisciplineRule,
 )
 
 
 __all__ = [
     "ALL_CODE_RULES",
     "CodeRule",
+    "FaultSiteDisciplineRule",
     "LockDisciplineRule",
     "MutableDefaultRule",
     "OrderedIterationRule",

@@ -5,6 +5,7 @@ Commands
 ``ask``           answer one question over the movie scenario (Figure 1)
 ``mvqa``          build MVQA and evaluate SVQA on it (Exp-1 / Table III)
 ``bench``         concurrent batch benchmark + executor statistics
+``chaos``         fault-injection sweep: accuracy decay vs fault rate
 ``stats``         print the MVQA dataset statistics (Tables I & II)
 ``parse``         show the query graph for a question (Algorithm 2)
 ``lint-queries``  semantic-validate query graphs (MVQA sweep or ad hoc)
@@ -26,6 +27,15 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _unit_rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a rate in [0, 1], got {value}"
         )
     return value
 
@@ -62,7 +72,15 @@ def _build_mvqa_svqa(args: argparse.Namespace) -> tuple[object, SVQA]:
     else:
         dataset = build_mvqa()
     workers = getattr(args, "workers", 1)
-    svqa = SVQA(dataset.scenes, dataset.kg, SVQAConfig(workers=workers))
+    resilience = None
+    chaos_rate = getattr(args, "chaos", None)
+    if chaos_rate is not None:
+        from repro.resilience import ResilienceConfig
+
+        resilience = ResilienceConfig.chaos(
+            chaos_rate, seed=getattr(args, "seed", 0))
+    svqa = SVQA(dataset.scenes, dataset.kg,
+                SVQAConfig(workers=workers, resilience=resilience))
     svqa.build()
     return dataset, svqa
 
@@ -103,25 +121,102 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ))
     report = svqa.execution_report()
     stats = report.stats
+    rows = [
+        ["queries executed", str(stats.queries)],
+        ["vertices / query",
+         f"{stats.mean_vertices_per_query:.2f}"],
+        ["scope hit rate", percentage(stats.scope_hit_rate)],
+        ["path hit rate", percentage(stats.path_hit_rate)],
+        ["predicate rejections", str(stats.predicate_rejections)],
+        ["predicate dropouts", str(stats.predicate_dropouts)],
+        ["constraint applications",
+         str(stats.constraint_applications)],
+        ["graphs validated", str(stats.graphs_validated)],
+        ["validation warnings", str(stats.validation_warnings)],
+        ["validation errors", str(stats.validation_errors)],
+    ]
+    if svqa.resilience is not None:
+        rows += [
+            ["faults injected", str(stats.faults_injected)],
+            ["retry attempts", str(stats.retry_attempts)],
+            ["retry recoveries", str(stats.retry_recoveries)],
+            ["retries exhausted", str(stats.retries_exhausted)],
+            ["breaker trips", str(stats.breaker_trips)],
+            ["breaker short-circuits",
+             str(stats.breaker_short_circuits)],
+            ["deadline cutoffs", str(stats.deadline_cutoffs)],
+            ["degraded answers", str(stats.degraded_answers)],
+        ]
     print()
+    print(format_table(["Metric", "Value"], rows,
+                       title="Executor statistics"))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep fault rates over MVQA: accuracy must decay gracefully.
+
+    Every question gets an answer at every rate — degraded ones carry
+    their fault provenance; an unhandled exception fails the command.
+    All figures are deterministic (simulated time, seeded faults), so
+    two runs with the same seed print byte-identical reports.
+    """
+    from repro.dataset.mvqa import build_mvqa
+    from repro.eval.harness import evaluate, format_table, percentage
+    from repro.resilience import ResilienceConfig
+
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"invalid --rates: {args.rates!r}", file=sys.stderr)
+        return 2
+    if not rates or any(not 0.0 <= r <= 1.0 for r in rates):
+        print("--rates must be a comma list of values in [0, 1]",
+              file=sys.stderr)
+        return 2
+
+    if args.fast:
+        dataset = build_mvqa(seed=5, pool_size=1_200, image_count=400)
+    else:
+        dataset = build_mvqa()
+    questions = dataset.questions
+
+    rows = []
+    unattributed = 0
+    for rate in rates:
+        resilience = ResilienceConfig.chaos(
+            rate, seed=args.seed, query_deadline=args.deadline
+        )
+        svqa = SVQA(dataset.scenes, dataset.kg,
+                    SVQAConfig(workers=args.workers,
+                               resilience=resilience))
+        svqa.build()
+        result = evaluate("SVQA", questions, svqa.answer_many,
+                          lambda svqa=svqa: svqa.elapsed)
+        stats = svqa.execution_report().stats
+        degraded = [a for a in result.answers if a.degraded]
+        unattributed += sum(1 for a in degraded if not a.fault_events)
+        summary = result.summary()
+        rows.append([
+            f"{rate:.2f}", percentage(summary["overall"]),
+            str(len(degraded)), str(stats.faults_injected),
+            str(stats.retry_attempts), str(stats.retry_recoveries),
+            str(stats.retries_exhausted), str(stats.breaker_trips),
+            str(stats.deadline_cutoffs),
+            str(len(svqa.merged.skipped_images)),
+        ])
+
     print(format_table(
-        ["Metric", "Value"],
-        [
-            ["queries executed", str(stats.queries)],
-            ["vertices / query",
-             f"{stats.mean_vertices_per_query:.2f}"],
-            ["scope hit rate", percentage(stats.scope_hit_rate)],
-            ["path hit rate", percentage(stats.path_hit_rate)],
-            ["predicate rejections", str(stats.predicate_rejections)],
-            ["predicate dropouts", str(stats.predicate_dropouts)],
-            ["constraint applications",
-             str(stats.constraint_applications)],
-            ["graphs validated", str(stats.graphs_validated)],
-            ["validation warnings", str(stats.validation_warnings)],
-            ["validation errors", str(stats.validation_errors)],
-        ],
-        title="Executor statistics",
+        ["Rate", "Overall", "Degraded", "Faults", "Retries",
+         "Recovered", "Exhausted", "Trips", "Deadline", "Skipped img"],
+        rows,
+        title=f"Chaos sweep over {len(questions)} MVQA questions "
+              f"(seed={args.seed})",
     ))
+    if unattributed:
+        print(f"ERROR: {unattributed} degraded answer(s) carry no "
+              "fault provenance", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -251,7 +346,30 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--fast", action="store_true")
     bench.add_argument("--workers", type=_positive_int, default=4,
                        help="worker threads for batch answering")
+    bench.add_argument("--chaos", type=_unit_rate, default=None,
+                       metavar="RATE",
+                       help="run the batch under fault injection at "
+                            "this per-site rate (adds the resilience "
+                            "counters to the stats table)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="fault-injection seed for --chaos")
     bench.set_defaults(handler=_cmd_bench)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection sweep over MVQA (graceful degradation)",
+    )
+    chaos.add_argument("--fast", action="store_true")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-injection seed (same seed => "
+                            "byte-identical report)")
+    chaos.add_argument("--rates", default="0.0,0.05,0.1,0.2",
+                       help="comma list of per-site fault rates")
+    chaos.add_argument("--deadline", type=float, default=None,
+                       help="per-query simulated-seconds budget")
+    chaos.add_argument("--workers", type=_positive_int, default=1,
+                       help="worker threads for batch answering")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     stats = commands.add_parser("stats", help="MVQA dataset statistics")
     stats.add_argument("--fast", action="store_true")
@@ -280,7 +398,7 @@ def main(argv: list[str] | None = None) -> int:
 
     lint_code = commands.add_parser(
         "lint-code",
-        help="run the repo-invariant linter (RP001-RP005) over the "
+        help="run the repo-invariant linter (RP001-RP006) over the "
              "source tree",
     )
     lint_code.add_argument("paths", nargs="*", default=None,

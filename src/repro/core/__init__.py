@@ -8,7 +8,7 @@ from repro.core.aggregator import (
     MergedGraph,
     MergeStats,
 )
-from repro.core.answer import Answer, final_answer
+from repro.core.answer import Answer, fallback_answer, final_answer
 from repro.core.batch import BatchExecutor, BatchResult
 from repro.core.cache import (
     CacheReport,
@@ -68,6 +68,7 @@ __all__ = [
     "describe_query_graph",
     "estimate_parallel_latency",
     "extract_spoc",
+    "fallback_answer",
     "final_answer",
     "generate_query_graph",
     "make_cache",

@@ -23,11 +23,15 @@ entity vertices — the movie scenario of Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.graph import Graph, SubgraphView, k_hop_subgraph
 from repro.simtime import SimClock
 from repro.dataset.kg import INSTANCE_OF
 from repro.vision.scene_graph import SceneGraphResult
+
+if TYPE_CHECKING:
+    from repro.resilience.manager import ResilienceManager
 
 
 @dataclass
@@ -45,11 +49,22 @@ class MergeStats:
 
 @dataclass
 class MergedGraph:
-    """``G_mg``: the KG with all scene graphs attached."""
+    """``G_mg``: the KG with all scene graphs attached.
+
+    ``skipped_images`` lists image ids the resilience layer dropped
+    (detector failed permanently upstream, or the merge of that scene
+    graph exhausted its retries) — the graph is then *partial* and
+    answers touching those images degrade rather than crash.
+    """
 
     graph: Graph
     stats: MergeStats
     instance_ids: list[int] = field(default_factory=list)
+    skipped_images: list[int] = field(default_factory=list)
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.skipped_images)
 
     @property
     def edge_labels(self) -> list[str]:
@@ -66,6 +81,17 @@ class AggregatorConfig:
     use_cache: bool = True
 
 
+@dataclass
+class _AttachTallies:
+    """Mutable counters shared across per-image attach calls."""
+
+    cache_links: int = 0
+    storage_links: int = 0
+    created: int = 0
+    covered_vertices: int = 0
+    total_vertices: int = 0
+
+
 class DataAggregator:
     """Builds the merged graph from scene graphs + a knowledge graph."""
 
@@ -74,22 +100,29 @@ class DataAggregator:
         kg: Graph,
         config: AggregatorConfig | None = None,
         clock: SimClock | None = None,
+        resilience: ResilienceManager | None = None,
     ) -> None:
         self.kg = kg
         self.config = config or AggregatorConfig()
         self.clock = clock
+        self.resilience = resilience
 
     def merge(
         self,
         scene_graphs: list[SceneGraphResult],
         annotations: dict[tuple[int, str], str] | None = None,
+        skipped_images: list[int] | None = None,
     ) -> MergedGraph:
         """Algorithm 1: align all scene graphs with the KG.
 
         ``annotations`` maps ``(image_id, detected_label)`` to an entity
         name — external identity metadata for the movie scenario.
+        ``skipped_images`` carries image ids already dropped upstream
+        (SGG); images whose merge fails permanently under the
+        resilience manager join the list, and the result is *partial*.
         """
         annotations = annotations or {}
+        skipped: list[int] = list(skipped_images or [])
         graph = _copy_graph(self.kg, name="merged-graph")
         concept_by_label = {
             v.label: v.id for v in graph.vertices()
@@ -118,87 +151,118 @@ class DataAggregator:
             cached_vertex_labels.update(view.label_index)
 
         # ----- Attach stage (lines 8-16): link every scene-graph vertex
-        cache_links = 0
-        storage_links = 0
-        created = 0
+        tallies = _AttachTallies()
         instance_ids: list[int] = []
-        covered_vertices = 0
-        total_vertices = 0
 
         for scene_graph in scene_graphs:
-            local: dict[int, int] = {}
-            for detection in scene_graph.detections:
-                total_vertices += 1
-                name = annotations.get(
-                    (scene_graph.image_id, detection.label)
+            if self.resilience is None:
+                self._attach_scene_graph(
+                    graph, scene_graph, annotations, cache,
+                    cached_vertex_labels, concept_by_label,
+                    instance_ids, tallies,
                 )
-                label = name if name is not None else detection.label
-                instance = graph.add_vertex(label, {
-                    "kind": "instance",
-                    "image_id": scene_graph.image_id,
-                    "det_index": detection.index,
-                    "category": detection.label,
-                })
-                instance_ids.append(instance.id)
-                local[detection.index] = instance.id
-
-                concept_id = self._resolve_concept(
-                    graph, cache, concept_by_label, detection.label
-                )
-                if concept_id is None:
-                    # not even storage knows this label: create a fresh
-                    # concept so the merged graph stays connected
-                    concept_id = graph.add_vertex(
-                        detection.label, {"kind": "concept"}
-                    ).id
-                    concept_by_label[detection.label] = concept_id
-                    created += 1
-                elif detection.label in cached_vertex_labels:
-                    cache_links += 1
-                    covered_vertices += 1
-                else:
-                    storage_links += 1
-                if self.clock is not None:
-                    self.clock.charge("merge_link")
-                graph.add_edge(instance.id, concept_id, INSTANCE_OF)
-
-                if name is not None:
-                    entity_id = concept_by_label.get(name)
-                    if entity_id is None:
-                        entity_id = graph.add_vertex(
-                            name, {"kind": "entity"}
-                        ).id
-                        concept_by_label[name] = entity_id
-                        created += 1
-                    graph.add_edge(instance.id, entity_id, INSTANCE_OF)
-
-            for relation in scene_graph.relations:
-                if relation.src in local and relation.dst in local:
-                    graph.add_edge(
-                        local[relation.src], local[relation.dst],
-                        relation.predicate,
-                        {"image_id": scene_graph.image_id,
-                         "score": relation.score},
-                    )
+                continue
+            # fault checks happen before the attach closure runs, so a
+            # skipped image never leaves half-merged vertices behind
+            self.resilience.call(
+                "aggregator.merge", scene_graph.image_id,
+                lambda sg=scene_graph: self._attach_scene_graph(
+                    graph, sg, annotations, cache,
+                    cached_vertex_labels, concept_by_label,
+                    instance_ids, tallies,
+                ),
+                clock=self.clock,
+                fallback=lambda sg=scene_graph:
+                    skipped.append(sg.image_id),
+            )
 
         type_fraction = (
             len(cached_categories) / len(category_counts)
             if category_counts else 0.0
         )
         vertex_fraction = (
-            covered_vertices / total_vertices if total_vertices else 0.0
+            tallies.covered_vertices / tallies.total_vertices
+            if tallies.total_vertices else 0.0
         )
         stats = MergeStats(
             category_counts=category_counts,
             cached_categories=cached_categories,
             cached_type_fraction=type_fraction,
             covered_vertex_fraction=vertex_fraction,
-            cache_links=cache_links,
-            storage_links=storage_links,
-            created_concepts=created,
+            cache_links=tallies.cache_links,
+            storage_links=tallies.storage_links,
+            created_concepts=tallies.created,
         )
         return MergedGraph(graph=graph, stats=stats,
-                           instance_ids=instance_ids)
+                           instance_ids=instance_ids,
+                           skipped_images=sorted(set(skipped)))
+
+    def _attach_scene_graph(
+        self,
+        graph: Graph,
+        scene_graph: SceneGraphResult,
+        annotations: dict[tuple[int, str], str],
+        cache: list[SubgraphView],
+        cached_vertex_labels: set[str],
+        concept_by_label: dict[str, int],
+        instance_ids: list[int],
+        tallies: _AttachTallies,
+    ) -> None:
+        """Attach one image's scene graph (the loop body of lines 8-16)."""
+        local: dict[int, int] = {}
+        for detection in scene_graph.detections:
+            tallies.total_vertices += 1
+            name = annotations.get(
+                (scene_graph.image_id, detection.label)
+            )
+            label = name if name is not None else detection.label
+            instance = graph.add_vertex(label, {
+                "kind": "instance",
+                "image_id": scene_graph.image_id,
+                "det_index": detection.index,
+                "category": detection.label,
+            })
+            instance_ids.append(instance.id)
+            local[detection.index] = instance.id
+
+            concept_id = self._resolve_concept(
+                graph, cache, concept_by_label, detection.label
+            )
+            if concept_id is None:
+                # not even storage knows this label: create a fresh
+                # concept so the merged graph stays connected
+                concept_id = graph.add_vertex(
+                    detection.label, {"kind": "concept"}
+                ).id
+                concept_by_label[detection.label] = concept_id
+                tallies.created += 1
+            elif detection.label in cached_vertex_labels:
+                tallies.cache_links += 1
+                tallies.covered_vertices += 1
+            else:
+                tallies.storage_links += 1
+            if self.clock is not None:
+                self.clock.charge("merge_link")
+            graph.add_edge(instance.id, concept_id, INSTANCE_OF)
+
+            if name is not None:
+                entity_id = concept_by_label.get(name)
+                if entity_id is None:
+                    entity_id = graph.add_vertex(
+                        name, {"kind": "entity"}
+                    ).id
+                    concept_by_label[name] = entity_id
+                    tallies.created += 1
+                graph.add_edge(instance.id, entity_id, INSTANCE_OF)
+
+        for relation in scene_graph.relations:
+            if relation.src in local and relation.dst in local:
+                graph.add_edge(
+                    local[relation.src], local[relation.dst],
+                    relation.predicate,
+                    {"image_id": scene_graph.image_id,
+                     "score": relation.score},
+                )
 
     def _resolve_concept(
         self,

@@ -13,17 +13,27 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.graph import RelationPair
+from repro.resilience.events import FaultEvent
 from repro.core.spoc import QuestionType, SPOC
 
 
 @dataclass
 class Answer:
-    """The final answer to a complex query."""
+    """The final answer to a complex query.
+
+    ``degraded`` marks answers the resilience layer salvaged from a
+    partial failure (keyword-match parse fallback, deadline cutoff,
+    absorbed crash); ``confidence`` drops below 1.0 on those rungs and
+    ``fault_events`` carries the full provenance of what went wrong.
+    """
 
     question_type: QuestionType
     value: str
     support: list[RelationPair] = field(default_factory=list)
     latency: float | None = None
+    degraded: bool = False
+    confidence: float = 1.0
+    fault_events: list[FaultEvent] = field(default_factory=list)
 
     @property
     def supporting_images(self) -> list[int]:
@@ -37,6 +47,27 @@ class Answer:
 
     def __str__(self) -> str:
         return self.value
+
+
+def fallback_answer(
+    question_type: QuestionType,
+    events: list[FaultEvent],
+    confidence: float = 0.0,
+) -> Answer:
+    """An attributed ``"unknown"``: the degradation ladder's last rung.
+
+    Used when a query could not be executed at all (parse rejection,
+    executor crash, deadline cutoff before the main clause) — the slot
+    stays filled and aligned, and the events say why.
+    """
+    return Answer(
+        question_type,
+        "unknown",
+        [],
+        degraded=True,
+        confidence=confidence,
+        fault_events=list(events),
+    )
 
 
 def final_answer(

@@ -30,13 +30,20 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.core.aggregator import MergedGraph
-from repro.core.answer import Answer
+from repro.core.answer import Answer, fallback_answer
 from repro.core.cache import KeyCentricCache
 from repro.core.executor import ExecutorConfig, QueryGraphExecutor
 from repro.core.spoc import QueryGraph, QuestionType
 from repro.core.stats import ExecutorStats
+from repro.errors import ReproError
+from repro.resilience.events import FaultEvent
 from repro.simtime import SimClock
+
+if TYPE_CHECKING:
+    from repro.resilience.manager import ResilienceManager
 
 
 @dataclass
@@ -88,6 +95,7 @@ class BatchExecutor:
         workers: int = 1,
         costs: dict[str, float] | None = None,
         stats: ExecutorStats | None = None,
+        resilience: ResilienceManager | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -98,6 +106,7 @@ class BatchExecutor:
         self.workers = workers
         self.costs = costs
         self.stats = stats if stats is not None else ExecutorStats()
+        self.resilience = resilience
 
     def _new_shard(self) -> SimClock:
         if self.costs is not None:
@@ -137,10 +146,24 @@ class BatchExecutor:
                 executor = QueryGraphExecutor(
                     self.merged, cache=self.cache, clock=clock,
                     config=self.config, stats=self.stats,
+                    resilience=self.resilience,
                 )
                 local.executor = executor
             start = executor.clock.snapshot()
-            answer = executor.execute(graph)
+            try:
+                answer = executor.execute(graph)
+            except ReproError as exc:
+                # fail soft per query, never hard per batch: the slot
+                # stays filled (and aligned) and the event says why
+                try:
+                    qtype = graph.question_type
+                except ValueError:
+                    qtype = QuestionType.REASONING
+                answer = fallback_answer(qtype, [
+                    FaultEvent("executor.execute", "error",
+                               detail=f"{type(exc).__name__}: {exc}"),
+                ])
+                self.stats.record_degraded()
             answer.latency = start.interval
             answers[index] = answer
             latencies[index] = answer.latency
@@ -157,8 +180,12 @@ class BatchExecutor:
         wall_clock = time.perf_counter() - wall_start
 
         shard_elapsed = [clock.elapsed for clock in shards]
+        # every slot was filled by run_one (absorbed failures included),
+        # so answers stay index-aligned with latencies and the inputs
         return BatchResult(
-            answers=[a for a in answers if a is not None],
+            answers=[a if a is not None
+                     else Answer(QuestionType.REASONING, "unknown")
+                     for a in answers],
             latencies=latencies,
             simulated_total=sum(shard_elapsed),
             simulated_makespan=max(shard_elapsed, default=0.0),

@@ -24,6 +24,7 @@ data-dependent cost, which is what the latency experiments measure.
 from __future__ import annotations
 
 from collections import Counter, deque
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -31,6 +32,8 @@ if TYPE_CHECKING:
     from repro.analysis.diagnostics import DiagnosticReport
     from repro.analysis.query_validator import QueryGraphValidator
     from repro.graph.model import Edge
+    from repro.resilience.manager import ResilienceManager
+    from repro.resilience.retry import DeadlineBudget
 
 from repro.errors import ExecutionError, QueryValidationError
 from repro.graph import Graph, RelationPair, Vertex, relations_between
@@ -38,14 +41,21 @@ from repro.nlp.dword import within_distance
 from repro.nlp.embeddings import max_score, rank_scores
 from repro.nlp.morphology import noun_singular
 from repro.nlp.semlex import are_synonyms
+from repro.resilience.events import FaultEvent
 from repro.simtime import SimClock
 from repro.core.aggregator import MergedGraph
-from repro.core.answer import Answer, final_answer
+from repro.core.answer import Answer, fallback_answer, final_answer
 from repro.core.cache import KeyCentricCache
-from repro.core.spoc import QueryGraph, SPOC, Term
+from repro.core.spoc import QueryGraph, QuestionType, SPOC, Term
 from repro.core.spoc_extract import CONSTRAINT_WORDS
 from repro.core.stats import ExecutorStats
 from repro.dataset.kg import INSTANCE_OF, IS_A
+
+#: FaultEvent kinds that mean an answer was actually degraded (faults
+#: that were retried away leave provenance but full answer quality)
+_DEGRADING_EVENT_KINDS = frozenset({
+    "exhausted", "degraded", "short-circuit", "deadline",
+})
 
 #: edge labels that carry structure, not scene/KG relations
 _STRUCTURAL_LABELS = frozenset({INSTANCE_OF, IS_A})
@@ -108,6 +118,7 @@ class QueryGraphExecutor:
         clock: SimClock | None = None,
         config: ExecutorConfig | None = None,
         stats: ExecutorStats | None = None,
+        resilience: ResilienceManager | None = None,
     ) -> None:
         self.merged = merged
         self.graph: Graph = merged.graph
@@ -120,6 +131,10 @@ class QueryGraphExecutor:
                 f"(expected one of {sorted(VALIDATION_MODES)})"
             )
         self.stats = stats
+        self.resilience = resilience
+        # per-execute fault provenance (executors are single-threaded:
+        # the batch engine gives every worker its own instance)
+        self._events: list[FaultEvent] | None = None
         # built lazily on first validated query (import cycle: the
         # analysis package depends on the core SPOC model)
         self._validator: QueryGraphValidator | None = None
@@ -166,9 +181,39 @@ class QueryGraphExecutor:
         graph first passes through the semantic validator — broken
         wiring is reported (or, in strict mode, rejected) before
         Algorithm 3 touches the merged graph.
+
+        With a resilience manager attached, matchVertex / cache
+        operations run under retry + circuit-breaker guards, a
+        per-query deadline budget can cut execution off with the best
+        partial answer, and every incident lands on the answer's
+        ``fault_events``.
         """
         if self.config.validation != "off":
             self.validate(query_graph)
+        if self.resilience is None:
+            return self._run_graph(query_graph, deadline=None)
+        events: list[FaultEvent] = []
+        self._events = events
+        try:
+            answer = self._run_graph(
+                query_graph, deadline=self.resilience.deadline(self.clock)
+            )
+        finally:
+            self._events = None
+        if events:
+            answer.fault_events.extend(events)
+            if any(e.kind in _DEGRADING_EVENT_KINDS for e in events) \
+                    and not answer.degraded:
+                answer.degraded = True
+                answer.confidence = min(answer.confidence, 0.5)
+        if answer.degraded and self.stats is not None:
+            self.stats.record_degraded()
+        return answer
+
+    def _run_graph(
+        self, query_graph: QueryGraph, deadline: DeadlineBudget | None
+    ) -> Answer:
+        """Algorithm 3's traversal, optionally under a deadline budget."""
         bindings: dict[int, dict[str, list[str] | None]] = {
             i: {"subject": None, "object": None}
             for i in range(len(query_graph.vertices))
@@ -184,7 +229,21 @@ class QueryGraphExecutor:
         }
 
         last: VertexResult | None = None
+        cut_off = False
         while pending:
+            if deadline is not None and deadline.exceeded:
+                # budget spent: stop walking and salvage what we have
+                cut_off = True
+                if self.stats is not None:
+                    self.stats.record_deadline_cutoff()
+                if self._events is not None:
+                    self._events.append(FaultEvent(
+                        "executor.deadline", "deadline",
+                        attempts=len(executed),
+                        detail=f"{deadline.consumed:.3f}s of "
+                               f"{deadline.limit:.3f}s budget",
+                    ))
+                break
             index = pending.popleft()
             if index in executed:
                 continue
@@ -217,6 +276,18 @@ class QueryGraphExecutor:
 
         main_index = query_graph.main_index
         if main_index not in results:
+            if cut_off:
+                # best partial answer: the main clause never ran, so
+                # the honest salvage is an attributed "unknown"
+                if self.stats is not None:
+                    self.stats.record_query(len(executed))
+                qtype = query_graph.vertices[main_index].question_type \
+                    or QuestionType.REASONING
+                from repro.resilience.degrade import \
+                    PARTIAL_ANSWER_CONFIDENCE
+
+                return fallback_answer(qtype, [],
+                                       confidence=PARTIAL_ANSWER_CONFIDENCE)
             raise ExecutionError(
                 "main clause never executed — query graph is disconnected"
             )
@@ -233,8 +304,8 @@ class QueryGraphExecutor:
     def _execute_vertex(
         self, spoc: SPOC, binding: dict[str, list[str] | None]
     ) -> VertexResult:
-        subjects = self._resolve_slot(spoc.subject, binding["subject"])
-        objects = self._resolve_slot(spoc.object, binding["object"])
+        subjects = self._guarded_resolve(spoc.subject, binding["subject"])
+        objects = self._guarded_resolve(spoc.object, binding["object"])
 
         if spoc.predicate == "be":
             pairs = self._be_pairs(subjects, objects)
@@ -244,6 +315,61 @@ class QueryGraphExecutor:
             matched, pairs = self._filter_by_predicate(spoc.predicate, pairs)
         pairs = self._apply_constraint(spoc, pairs)
         return VertexResult(spoc, subjects, objects, pairs, matched)
+
+    def _guarded_resolve(
+        self, term: Term | None, bound_labels: list[str] | None
+    ) -> list[Vertex]:
+        """Slot resolution under the ``executor.match`` fault site.
+
+        Retry-exhausted matching degrades to an empty vertex set (the
+        query proceeds, typically toward "no"/"unknown") rather than
+        killing the query.
+        """
+        if self.resilience is None or (term is None and bound_labels is None):
+            return self._resolve_slot(term, bound_labels)
+        if bound_labels is not None:
+            key = "|".join(sorted(label.lower() for label in bound_labels))
+        else:
+            key = term.head.lower()
+        return self.resilience.call(
+            "executor.match",
+            key=key,
+            fn=lambda: self._resolve_slot(term, bound_labels),
+            clock=self.clock,
+            events=self._events,
+            fallback=list,
+        )
+
+    def _scope_get_or_compute(
+        self, key: tuple, compute: Callable[[], list[int]]
+    ) -> tuple[list[int], bool]:
+        """Scope-store access under the ``cache.scope`` fault site;
+        a tripped breaker routes around the store (cache bypass)."""
+        if self.resilience is None:
+            return self.cache.scope_get_or_compute(key, compute)
+        return self.resilience.call(
+            "cache.scope",
+            key=key,
+            fn=lambda: self.cache.scope_get_or_compute(key, compute),
+            clock=self.clock,
+            events=self._events,
+            fallback=lambda: (compute(), False),
+        )
+
+    def _path_get_or_compute(
+        self, key: tuple, compute: Callable[[], list[RelationPair]]
+    ) -> tuple[list[RelationPair], bool]:
+        """Path-store access under the ``cache.path`` fault site."""
+        if self.resilience is None:
+            return self.cache.path_get_or_compute(key, compute)
+        return self.resilience.call(
+            "cache.path",
+            key=key,
+            fn=lambda: self.cache.path_get_or_compute(key, compute),
+            clock=self.clock,
+            events=self._events,
+            fallback=lambda: (compute(), False),
+        )
 
     def _resolve_slot(
         self, term: Term | None, bound_labels: list[str] | None
@@ -282,7 +408,7 @@ class QueryGraphExecutor:
                     direct.extend(self.graph.find_vertices(candidate))
             return [v.id for v in self._expand_to_instances(direct)]
 
-        ids, hit = self.cache.scope_get_or_compute(key, compute)
+        ids, hit = self._scope_get_or_compute(key, compute)
         if self.stats is not None:
             self.stats.record_scope(hit)
         if hit and self.clock is not None:
@@ -342,7 +468,7 @@ class QueryGraphExecutor:
             expanded = self._expand_to_instances(list(targets.values()))
             return [v.id for v in expanded]
 
-        ids, hit = self.cache.scope_get_or_compute(key, compute)
+        ids, hit = self._scope_get_or_compute(key, compute)
         if self.stats is not None:
             self.stats.record_scope(hit)
         if hit and self.clock is not None:
@@ -424,7 +550,7 @@ class QueryGraphExecutor:
             return [p for p in pairs
                     if p.edge.label not in _STRUCTURAL_LABELS]
 
-        pairs, hit = self.cache.path_get_or_compute(key, compute)
+        pairs, hit = self._path_get_or_compute(key, compute)
         if self.stats is not None:
             self.stats.record_path(hit)
         if hit and self.clock is not None:

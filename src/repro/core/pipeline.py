@@ -19,15 +19,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.graph import Graph
+from repro.resilience.events import FaultEvent
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
 from repro.simtime import SimClock
 from repro.synth.scene import SyntheticScene
 from repro.vision.detector import DetectorConfig, SimulatedDetector
 from repro.vision.relation import MODELS, RelationPredictor
 from repro.vision.scene_graph import SGGConfig, SGGPipeline, SceneGraphResult
 from repro.core.aggregator import AggregatorConfig, DataAggregator, MergedGraph
-from repro.core.answer import Answer
+from repro.core.answer import Answer, fallback_answer
 from repro.core.batch import BatchExecutor, BatchResult
 from repro.core.cache import CacheReport, KeyCentricCache
 from repro.core.executor import ExecutorConfig, QueryGraphExecutor
@@ -53,6 +55,9 @@ class SVQAConfig:
     enable_path_cache: bool = True
     enable_scheduler: bool = True
     workers: int = 1  # worker threads for answer_many (1 = serial)
+    #: resilience layer (fault injection / retry / deadline / breaker);
+    #: ``None`` keeps the whole layer strictly zero-cost
+    resilience: ResilienceConfig | None = None
 
 
 class SVQA:
@@ -85,6 +90,10 @@ class SVQA:
         self._executor: QueryGraphExecutor | None = None
         self._stats = ExecutorStats()
         self._last_batch: BatchResult | None = None
+        self.resilience: ResilienceManager | None = None
+        if self.config.resilience is not None:
+            self.resilience = ResilienceManager(self.config.resilience,
+                                                stats=self._stats)
 
     def _make_cache(self) -> KeyCentricCache:
         config = self.config
@@ -120,14 +129,18 @@ class SVQA:
             RelationPredictor(spec),
             sgg_config,
             clock=self.clock,
+            resilience=self.resilience,
         )
         self.scene_graphs = pipeline.run_many(self.scenes)
         aggregator = DataAggregator(self.kg, self.config.aggregator,
-                                    clock=self.clock)
-        self.merged = aggregator.merge(self.scene_graphs, self.annotations)
+                                    clock=self.clock,
+                                    resilience=self.resilience)
+        self.merged = aggregator.merge(self.scene_graphs, self.annotations,
+                                       skipped_images=pipeline.skipped_images)
         self._executor = QueryGraphExecutor(
             self.merged, cache=self._cache, clock=self.clock,
             config=self.config.executor, stats=self._stats,
+            resilience=self.resilience,
         )
         return self.merged
 
@@ -143,12 +156,92 @@ class SVQA:
         """§IV: question -> ordered query graph."""
         return generate_query_graph(question, clock=self.clock)
 
+    def _parse_resilient(
+        self, question: str, events: list[FaultEvent]
+    ) -> tuple[QueryGraph | None, bool]:
+        """Parse under the ``parse.question`` fault site.
+
+        Returns ``(graph, parse_degraded)``: when the grammar (or an
+        injected fault, permanently) rejects the question, the
+        keyword-match fallback of
+        :func:`~repro.resilience.degrade.keyword_query_graph` supplies
+        a degraded single-clause graph; ``(None, True)`` means even
+        that rung failed and the caller answers ``"unknown"``.
+        """
+        manager = self.resilience
+        assert manager is not None
+        try:
+            graph = manager.call(
+                "parse.question", question,
+                lambda: generate_query_graph(question, clock=self.clock),
+                clock=self.clock, events=events,
+            )
+            return graph, False
+        except ReproError as exc:
+            events.append(FaultEvent(
+                "parse.question", "error",
+                detail=f"{type(exc).__name__}: {exc}",
+            ))
+        if manager.config.degrade_parse:
+            from repro.resilience.degrade import keyword_query_graph
+
+            graph = keyword_query_graph(question)
+            if graph is not None:
+                events.append(FaultEvent("parse.question", "degraded",
+                                         detail="keyword-match fallback"))
+                return graph, True
+        return None, True
+
+    def _mark_parse_degraded(self, answer: Answer) -> None:
+        from repro.resilience.degrade import KEYWORD_FALLBACK_CONFIDENCE
+
+        answer.confidence = min(answer.confidence,
+                                KEYWORD_FALLBACK_CONFIDENCE)
+        if not answer.degraded:
+            answer.degraded = True
+            self._stats.record_degraded()
+
     def answer(self, question: str) -> Answer:
-        """Answer one complex question."""
+        """Answer one complex question.
+
+        With :attr:`SVQAConfig.resilience` configured this walks the
+        degradation ladder instead of raising: parse failures fall back
+        to a keyword-match query, executor crashes become attributed
+        ``"unknown"`` answers, and every salvaged answer carries its
+        :class:`~repro.resilience.events.FaultEvent` provenance.
+        """
         executor = self._require_built()
         start = self.clock.snapshot()
-        query_graph = self.parse_question(question)
-        answer = executor.execute(query_graph)
+        if self.resilience is None:
+            query_graph = self.parse_question(question)
+            answer = executor.execute(query_graph)
+            answer.latency = start.interval
+            return answer
+
+        from repro.resilience.degrade import classify_question_text
+
+        events: list[FaultEvent] = []
+        query_graph, parse_degraded = self._parse_resilient(question, events)
+        if query_graph is None:
+            answer = fallback_answer(classify_question_text(question),
+                                     events)
+            self._stats.record_degraded()
+        else:
+            try:
+                answer = executor.execute(query_graph)
+            except ReproError as exc:
+                events.append(FaultEvent(
+                    "executor.execute", "error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                ))
+                answer = fallback_answer(classify_question_text(question),
+                                         events)
+                self._stats.record_degraded()
+            else:
+                if events:
+                    answer.fault_events = events + answer.fault_events
+                if parse_degraded:
+                    self._mark_parse_degraded(answer)
         answer.latency = start.interval
         return answer
 
@@ -178,11 +271,23 @@ class SVQA:
         workers = self.config.workers if workers is None else workers
         self._require_built()
         graphs: list[QueryGraph | None] = []
+        pre_events: list[list[FaultEvent]] = []
+        parse_degraded: list[bool] = []
         for question in questions:
-            try:
-                graphs.append(self.parse_question(question))
-            except QueryError:
-                graphs.append(None)
+            events: list[FaultEvent] = []
+            if self.resilience is None:
+                try:
+                    graphs.append(self.parse_question(question))
+                except ReproError:
+                    # any pipeline error (parse, tokenization, ...) must
+                    # cost the batch one slot, never the whole batch
+                    graphs.append(None)
+                degraded = False
+            else:
+                graph, degraded = self._parse_resilient(question, events)
+                graphs.append(graph)
+            pre_events.append(events)
+            parse_degraded.append(degraded)
 
         order = list(range(len(questions)))
         if self.config.enable_scheduler:
@@ -195,11 +300,42 @@ class SVQA:
             self.merged, cache=self._cache,
             config=self.config.executor, workers=workers,
             costs=self.clock.costs, stats=self._stats,
+            resilience=self.resilience,
         )
         result = batch.run(graphs, order=order)
         result.merge_into(self.clock)
         self._last_batch = result
+        if self.resilience is not None:
+            self._attach_batch_provenance(
+                result, questions, graphs, pre_events, parse_degraded
+            )
         return result.answers
+
+    def _attach_batch_provenance(
+        self,
+        result: BatchResult,
+        questions: list[str],
+        graphs: list[QueryGraph | None],
+        pre_events: list[list[FaultEvent]],
+        parse_degraded: list[bool],
+    ) -> None:
+        """Fold parse-stage fault provenance into the batch's answers."""
+        from repro.resilience.degrade import classify_question_text
+
+        for i, answer in enumerate(result.answers):
+            if graphs[i] is None:
+                # replace the bare "unknown" slot with an attributed one
+                salvaged = fallback_answer(
+                    classify_question_text(questions[i]), pre_events[i]
+                )
+                salvaged.latency = answer.latency
+                result.answers[i] = salvaged
+                self._stats.record_degraded()
+                continue
+            if pre_events[i]:
+                answer.fault_events = pre_events[i] + answer.fault_events
+            if parse_degraded[i]:
+                self._mark_parse_degraded(answer)
 
     # ------------------------------------------------------------------
     # introspection

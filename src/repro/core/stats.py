@@ -37,6 +37,15 @@ class ExecutorStatsReport:
     graphs_validated: int = 0      # query graphs run through the validator
     validation_errors: int = 0     # ERROR diagnostics across all graphs
     validation_warnings: int = 0   # WARNING diagnostics across all graphs
+    faults_injected: int = 0       # injected faults that fired
+    fault_sites: tuple[tuple[str, int], ...] = ()  # per-site fault counts
+    retry_attempts: int = 0        # backoffs charged before a re-attempt
+    retry_recoveries: int = 0      # operations that succeeded after faults
+    retries_exhausted: int = 0     # guard calls whose retry budget ran out
+    breaker_trips: int = 0         # circuit transitions to open
+    breaker_short_circuits: int = 0  # calls rejected by an open circuit
+    deadline_cutoffs: int = 0      # queries cut off by their budget
+    degraded_answers: int = 0      # answers salvaged by the ladder
 
     @property
     def scope_hit_rate(self) -> float:
@@ -72,6 +81,15 @@ class ExecutorStats:
         self._graphs_validated = 0
         self._validation_errors = 0
         self._validation_warnings = 0
+        self._faults_injected = 0
+        self._fault_sites: dict[str, int] = {}
+        self._retry_attempts = 0
+        self._retry_recoveries = 0
+        self._retries_exhausted = 0
+        self._breaker_trips = 0
+        self._breaker_short_circuits = 0
+        self._deadline_cutoffs = 0
+        self._degraded_answers = 0
 
     def record_query(self, vertex_count: int) -> None:
         with self._lock:
@@ -112,6 +130,42 @@ class ExecutorStats:
             self._validation_errors += errors
             self._validation_warnings += warnings
 
+    def record_fault(self, site: str) -> None:
+        """One injected fault fired at ``site``."""
+        with self._lock:
+            self._faults_injected += 1
+            self._fault_sites[site] = self._fault_sites.get(site, 0) + 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self._retry_attempts += 1
+
+    def record_recovery(self) -> None:
+        """A guarded operation succeeded after at least one fault."""
+        with self._lock:
+            self._retry_recoveries += 1
+
+    def record_retry_exhausted(self) -> None:
+        with self._lock:
+            self._retries_exhausted += 1
+
+    def record_breaker_trip(self) -> None:
+        with self._lock:
+            self._breaker_trips += 1
+
+    def record_breaker_short_circuit(self) -> None:
+        with self._lock:
+            self._breaker_short_circuits += 1
+
+    def record_deadline_cutoff(self) -> None:
+        with self._lock:
+            self._deadline_cutoffs += 1
+
+    def record_degraded(self) -> None:
+        """One answer was salvaged by the degradation ladder."""
+        with self._lock:
+            self._degraded_answers += 1
+
     def reset(self) -> None:
         with self._lock:
             self._queries = 0
@@ -124,6 +178,15 @@ class ExecutorStats:
             self._graphs_validated = 0
             self._validation_errors = 0
             self._validation_warnings = 0
+            self._faults_injected = 0
+            self._fault_sites.clear()
+            self._retry_attempts = 0
+            self._retry_recoveries = 0
+            self._retries_exhausted = 0
+            self._breaker_trips = 0
+            self._breaker_short_circuits = 0
+            self._deadline_cutoffs = 0
+            self._degraded_answers = 0
 
     def snapshot(self) -> ExecutorStatsReport:
         with self._lock:
@@ -142,4 +205,13 @@ class ExecutorStats:
                 graphs_validated=self._graphs_validated,
                 validation_errors=self._validation_errors,
                 validation_warnings=self._validation_warnings,
+                faults_injected=self._faults_injected,
+                fault_sites=tuple(sorted(self._fault_sites.items())),
+                retry_attempts=self._retry_attempts,
+                retry_recoveries=self._retry_recoveries,
+                retries_exhausted=self._retries_exhausted,
+                breaker_trips=self._breaker_trips,
+                breaker_short_circuits=self._breaker_short_circuits,
+                deadline_cutoffs=self._deadline_cutoffs,
+                degraded_answers=self._degraded_answers,
             )

@@ -117,5 +117,59 @@ class ExecutionError(QueryError):
     """Query-graph execution over the merged graph failed."""
 
 
+class FaultToleranceError(ReproError):
+    """A guarded pipeline stage failed permanently.
+
+    Raised by the resilience layer when a fault site exhausts its
+    retry budget and no degradation fallback was provided.  Structured
+    attribution mirrors :class:`QueryParseError`'s style: ``site`` is
+    the registered fault-site name (see
+    :data:`repro.resilience.faults.FAULT_SITES`), ``attempts`` is how
+    many attempts were made before giving up, and ``elapsed_budget``
+    is the simulated seconds consumed of the per-query deadline (or
+    ``None`` when no deadline was active).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str | None = None,
+        attempts: int = 0,
+        elapsed_budget: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.attempts = attempts
+        self.elapsed_budget = elapsed_budget
+
+
+class InjectedFaultError(FaultToleranceError):
+    """A single injected fault fired at a registered fault site.
+
+    This is what :class:`repro.resilience.faults.FaultInjector` raises
+    per attempt; the retry loop in
+    :class:`repro.resilience.manager.ResilienceManager` absorbs it and
+    only lets a :class:`FaultToleranceError` escape when the retry
+    budget is exhausted.
+    """
+
+
+class DeadlineExceededError(FaultToleranceError):
+    """A per-query deadline budget ran out (simulated time).
+
+    ``elapsed_budget`` carries the simulated seconds actually consumed
+    when the budget tripped.
+    """
+
+
+class CircuitOpenError(FaultToleranceError):
+    """A per-stage circuit breaker is open and short-circuited the call.
+
+    ``attempts`` counts the consecutive failures that tripped the
+    breaker.
+    """
+
+
 class DatasetError(ReproError):
     """Dataset construction or loading failed."""

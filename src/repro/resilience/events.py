@@ -1,0 +1,49 @@
+"""Fault provenance records attached to degraded answers.
+
+:class:`FaultEvent` is deliberately a leaf type (no imports from the
+core package) so :mod:`repro.core.answer` can carry fault provenance
+without creating an import cycle with the resilience layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observable resilience incident on a query or build stage.
+
+    Attributes
+    ----------
+    site:
+        The registered fault-site name (see
+        :data:`repro.resilience.faults.FAULT_SITES`) or a pseudo-site
+        such as ``executor.execute`` for uninjected crashes.
+    kind:
+        What happened: ``fault`` (one injected fault fired), ``retry``
+        (a backoff was charged and the attempt repeated), ``recovered``
+        (the operation succeeded after >= 1 fault), ``exhausted`` (the
+        retry budget ran out), ``short-circuit`` (an open breaker
+        rejected the call), ``deadline`` (the per-query budget cut
+        execution off), ``degraded`` (a fallback value was substituted),
+        or ``error`` (a real, uninjected exception was absorbed).
+    attempts:
+        Attempts made when the event was recorded.
+    detail:
+        Free-form attribution (offending key, exception text, ...).
+    """
+
+    site: str
+    kind: str
+    attempts: int = 0
+    detail: str = ""
+
+    def render(self) -> str:
+        """One-line rendering for reports and CLI output."""
+        suffix = f" after {self.attempts} attempt(s)" if self.attempts else ""
+        detail = f": {self.detail}" if self.detail else ""
+        return f"[{self.site}] {self.kind}{suffix}{detail}"
+
+
+__all__ = ["FaultEvent"]

@@ -1,0 +1,236 @@
+"""The resilience layer's central guard: retries, breakers, fallbacks.
+
+``ResilienceManager.call(site, key, fn)`` is the one wrapper every
+guarded pipeline stage goes through:
+
+1. the site's :class:`~repro.resilience.breaker.CircuitBreaker` is
+   consulted — when open, the call is short-circuited and the caller's
+   ``fallback`` routes around the stage (cache bypass, skip-image, ...);
+2. the seeded :class:`~repro.resilience.faults.FaultInjector` decides
+   whether this attempt faults (charging fault latency on the clock);
+3. faults are retried under the :class:`~repro.resilience.retry.RetryPolicy`
+   with exponential backoff charged in simulated seconds;
+4. an exhausted retry budget either raises
+   :class:`~repro.errors.FaultToleranceError` or, when the caller
+   provided a ``fallback``, degrades gracefully to it.
+
+Every incident is recorded twice: as a
+:class:`~repro.resilience.events.FaultEvent` on the caller's event
+list (per-answer provenance) and as a counter on the shared
+:class:`~repro.core.stats.ExecutorStats` (fleet-level observability).
+
+With no manager present (``SVQAConfig.resilience is None``) none of
+this code runs: the resilience layer is strictly zero-cost when off.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.errors import (
+    CircuitOpenError,
+    FaultToleranceError,
+    InjectedFaultError,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.events import FaultEvent
+from repro.resilience.faults import FAULT_SITES, FaultInjector, FaultSpec
+from repro.resilience.retry import DeadlineBudget, RetryPolicy
+from repro.simtime import SimClock
+
+if TYPE_CHECKING:
+    from repro.core.stats import ExecutorStats
+
+#: sentinel distinguishing "no fallback" from "fallback returns None"
+_RAISE = object()
+
+
+@dataclass
+class ResilienceConfig:
+    """Every knob of the resilience layer in one place.
+
+    ``fault_specs`` maps registered site names to
+    :class:`~repro.resilience.faults.FaultSpec` values (empty = no
+    injection, the production setting: retries/breakers/deadlines
+    still guard real failures).  ``query_deadline`` is the per-query
+    budget in simulated seconds (``None`` = unbounded).
+    ``degrade_parse`` enables the keyword-match fallback for questions
+    the grammar rejects.
+    """
+
+    seed: int = 0
+    fault_specs: dict[str, FaultSpec] = field(default_factory=dict)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    query_deadline: float | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 8
+    degrade_parse: bool = True
+
+    @classmethod
+    def chaos(
+        cls,
+        rate: float,
+        seed: int = 0,
+        persistent_fraction: float = 0.25,
+        fault_latency: float = 0.02,
+        query_deadline: float | None = None,
+    ) -> ResilienceConfig:
+        """A uniform chaos-testing configuration: the same fault rate
+        at every registered site."""
+        spec = FaultSpec(rate=rate, persistent_fraction=persistent_fraction,
+                         latency=fault_latency)
+        return cls(
+            seed=seed,
+            fault_specs=dict.fromkeys(FAULT_SITES, spec),
+            query_deadline=query_deadline,
+        )
+
+
+class ResilienceManager:
+    """Shared, thread-safe guard state for one SVQA system.
+
+    One manager is created per :class:`~repro.core.pipeline.SVQA`
+    instance and threaded through the SGG pipeline, the aggregator,
+    the executor, and the batch engine; breakers are per-site and
+    shared across worker threads.
+    """
+
+    def __init__(
+        self,
+        config: ResilienceConfig | None = None,
+        stats: ExecutorStats | None = None,
+    ) -> None:
+        self.config = config or ResilienceConfig()
+        self.injector = FaultInjector(seed=self.config.seed,
+                                      specs=self.config.fault_specs)
+        self.stats = stats
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def _breaker(self, site: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(site)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                )
+                self._breakers[site] = breaker
+            return breaker
+
+    def breaker_state(self, site: str) -> str:
+        """The named site's breaker state (for reports and tests)."""
+        return self._breaker(site).state
+
+    def deadline(self, clock: SimClock | None) -> DeadlineBudget | None:
+        """A fresh per-query budget, or ``None`` when unconfigured."""
+        if clock is None or self.config.query_deadline is None:
+            return None
+        return DeadlineBudget.start(clock, self.config.query_deadline)
+
+    # ------------------------------------------------------------------
+    # the guard
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        site: str,
+        key: object,
+        fn: Callable[[], Any],
+        clock: SimClock | None = None,
+        events: list[FaultEvent] | None = None,
+        fallback: Any = _RAISE,
+    ) -> Any:
+        """Run ``fn`` under this site's breaker + retry policy.
+
+        ``key`` is the stable identity of the operation (image id,
+        cache key, term label): fault decisions are a pure function of
+        ``(seed, site, key)``, so runs are reproducible regardless of
+        thread interleaving.  ``fallback`` (a zero-arg callable) routes
+        around the stage on breaker-open or retry exhaustion; without
+        it those conditions raise :class:`~repro.errors.CircuitOpenError`
+        / :class:`~repro.errors.FaultToleranceError`.
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(f"unregistered fault site: {site!r}")
+        breaker = self._breaker(site)
+        if not breaker.allow():
+            self._record("breaker_short_circuit", site)
+            if events is not None:
+                events.append(FaultEvent(site, "short-circuit",
+                                         detail=str(key)))
+            if fallback is _RAISE:
+                raise CircuitOpenError(
+                    f"circuit open at {site} (key={key!r})", site=site,
+                )
+            return fallback()
+        policy = self.config.retry
+        last_fault: InjectedFaultError | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                self.injector.check(site, key, attempt=attempt, clock=clock)
+            except InjectedFaultError as fault:
+                last_fault = fault
+                self._record("fault", site)
+                if events is not None:
+                    events.append(FaultEvent(site, "fault",
+                                             attempts=attempt + 1,
+                                             detail=str(key)))
+                tripped = breaker.record_failure()
+                if tripped:
+                    self._record("breaker_trip", site)
+                if attempt + 1 < policy.max_attempts:
+                    if clock is not None:
+                        clock.charge_amount(
+                            "retry_backoff",
+                            policy.backoff(attempt, site, str(key)),
+                        )
+                    self._record("retry", site)
+                    if events is not None:
+                        events.append(FaultEvent(site, "retry",
+                                                 attempts=attempt + 1))
+                continue
+            value = fn()
+            breaker.record_success()
+            if attempt > 0:
+                self._record("recovery", site)
+                if events is not None:
+                    events.append(FaultEvent(site, "recovered",
+                                             attempts=attempt + 1))
+            return value
+        self._record("exhausted", site)
+        if events is not None:
+            events.append(FaultEvent(site, "exhausted",
+                                     attempts=policy.max_attempts,
+                                     detail=str(key)))
+        if fallback is _RAISE:
+            raise FaultToleranceError(
+                f"{site} failed permanently after "
+                f"{policy.max_attempts} attempts (key={key!r})",
+                site=site,
+                attempts=policy.max_attempts,
+            ) from last_fault
+        if events is not None:
+            events.append(FaultEvent(site, "degraded", detail=str(key)))
+        return fallback()
+
+    def _record(self, incident: str, site: str) -> None:
+        if self.stats is None:
+            return
+        if incident == "fault":
+            self.stats.record_fault(site)
+        elif incident == "retry":
+            self.stats.record_retry()
+        elif incident == "recovery":
+            self.stats.record_recovery()
+        elif incident == "exhausted":
+            self.stats.record_retry_exhausted()
+        elif incident == "breaker_trip":
+            self.stats.record_breaker_trip()
+        elif incident == "breaker_short_circuit":
+            self.stats.record_breaker_short_circuit()
+
+
+__all__ = ["ResilienceConfig", "ResilienceManager"]

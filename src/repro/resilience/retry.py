@@ -1,0 +1,111 @@
+"""Retry policies and per-query deadline budgets, in simulated time.
+
+Both primitives charge the :class:`~repro.simtime.SimClock` rather
+than sleeping: a backoff is simulated seconds added to the lane that
+retried, and a deadline is a budget of simulated seconds per query —
+so retry/deadline behaviour is deterministic and shows up in exactly
+the latency figures the benchmarks already report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import DeadlineExceededError
+from repro.simtime import SimClock
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with exponential backoff + deterministic jitter.
+
+    ``backoff(attempt)`` for attempt ``n`` (0-based) is
+    ``base * multiplier**n``, jittered by up to ``+-jitter`` (a
+    fraction) using a hash of ``(site, key, attempt)`` — the same
+    inputs always produce the same delay, so retries are reproducible
+    while still de-synchronised across keys.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05     # simulated seconds before attempt 1
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.1            # fraction of the delay, +-
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                "backoff_multiplier must be >= 1, "
+                f"got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int, site: str = "", key: str = "") -> float:
+        """Simulated seconds to wait before retrying after ``attempt``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        delay = self.backoff_base * self.backoff_multiplier ** attempt
+        if self.jitter <= 0 or delay <= 0:
+            return delay
+        payload = f"{site}|{key}|{attempt}|backoff".encode()
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        unit = int.from_bytes(digest, "big") / 2.0 ** 64
+        return delay * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+@dataclass
+class DeadlineBudget:
+    """A per-query budget of simulated seconds on one clock.
+
+    Created at query start (:meth:`start`); ``exceeded`` flips once
+    the clock has charged more than ``limit`` seconds since then.  The
+    executor polls ``exceeded`` between query-graph vertices and cuts
+    execution off with the best partial answer; :meth:`check` is the
+    raising variant for callers that prefer an exception.
+    """
+
+    clock: SimClock
+    limit: float
+    started_at: float
+
+    @classmethod
+    def start(cls, clock: SimClock, limit: float) -> DeadlineBudget:
+        if limit <= 0:
+            raise ValueError(f"deadline limit must be > 0, got {limit}")
+        return cls(clock=clock, limit=limit, started_at=clock.elapsed)
+
+    @property
+    def consumed(self) -> float:
+        """Simulated seconds charged since the budget started."""
+        return self.clock.elapsed - self.started_at
+
+    @property
+    def remaining(self) -> float:
+        return self.limit - self.consumed
+
+    @property
+    def exceeded(self) -> bool:
+        return self.consumed > self.limit
+
+    def check(self, site: str = "query") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` once the
+        budget is exhausted."""
+        if self.exceeded:
+            raise DeadlineExceededError(
+                f"deadline of {self.limit:.3f} simulated seconds exceeded "
+                f"at {site} ({self.consumed:.3f}s consumed)",
+                site=site,
+                elapsed_budget=self.consumed,
+            )
+
+
+__all__ = ["DeadlineBudget", "RetryPolicy"]

@@ -10,15 +10,20 @@ list (what the mR@K evaluation consumes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.errors import FaultToleranceError
 from repro.simtime import SimClock
 from repro.synth.relations import RELATIONS
 from repro.synth.scene import SyntheticScene
 from repro.vision.detector import Detection, SimulatedDetector
 from repro.vision.relation import RelationPredictor, candidate_pairs
 from repro.vision.tde import tde_scores
+
+if TYPE_CHECKING:
+    from repro.resilience.manager import ResilienceManager
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,9 @@ class SceneGraphResult:
     detections: list[Detection]
     relations: list[PredictedRelation]
     ranked_triples: list[PredictedRelation] = field(default_factory=list)
+    #: relation prediction failed permanently; detections survive but
+    #: the image contributes no relation edges to the merged graph
+    degraded: bool = False
 
     @property
     def categories(self) -> list[str]:
@@ -83,19 +91,66 @@ class SGGPipeline:
         predictor: RelationPredictor,
         config: SGGConfig | None = None,
         clock: SimClock | None = None,
+        resilience: ResilienceManager | None = None,
     ) -> None:
         self.detector = detector
         self.predictor = predictor
         self.config = config or SGGConfig()
         self.clock = clock
+        self.resilience = resilience
+        #: image ids dropped by :meth:`run_many` after the detector
+        #: failed permanently (the merged graph is then partial)
+        self.skipped_images: list[int] = []
 
     def run(self, scene: SyntheticScene) -> SceneGraphResult:
-        """Generate the scene graph for one scene."""
+        """Generate the scene graph for one scene.
+
+        Under a resilience manager the detector runs guarded (a
+        permanently failing image raises
+        :class:`~repro.errors.FaultToleranceError`, which
+        :meth:`run_many` turns into a skip) and relation prediction
+        degrades to a relation-less scene graph when its retry budget
+        is exhausted.
+        """
         if self.clock is not None:
             self.clock.charge("detector_forward")
             self.clock.charge("relation_forward")
         raster = scene.render()
-        detections = self.detector.detect(raster, scene.image_id)
+        if self.resilience is None:
+            detections = self.detector.detect(raster, scene.image_id)
+            triples, kept = self._predict_relations(scene, detections)
+            degraded = False
+        else:
+            detections = self.resilience.call(
+                "detector.detect", scene.image_id,
+                lambda: self.detector.detect(raster, scene.image_id),
+                clock=self.clock,
+            )
+            fallback_used: list[bool] = []
+
+            def _no_relations() -> tuple[list[PredictedRelation],
+                                         list[PredictedRelation]]:
+                fallback_used.append(True)
+                return [], []
+
+            triples, kept = self.resilience.call(
+                "relation.predict", scene.image_id,
+                lambda: self._predict_relations(scene, detections),
+                clock=self.clock, fallback=_no_relations,
+            )
+            degraded = bool(fallback_used)
+        return SceneGraphResult(
+            image_id=scene.image_id,
+            detections=detections,
+            relations=kept,
+            ranked_triples=triples,
+            degraded=degraded,
+        )
+
+    def _predict_relations(
+        self, scene: SyntheticScene, detections: list[Detection]
+    ) -> tuple[list[PredictedRelation], list[PredictedRelation]]:
+        """Score candidate pairs; returns ``(ranked_triples, kept)``."""
         triples: list[PredictedRelation] = []
         best_per_pair: list[PredictedRelation] = []
         for subject, obj in candidate_pairs(detections,
@@ -141,13 +196,22 @@ class SGGPipeline:
                    int(len(detections) * self.config.keep_per_detection))
         kept = [r for r in best_per_pair
                 if r.score >= self.config.keep_min_score][:keep]
-        return SceneGraphResult(
-            image_id=scene.image_id,
-            detections=detections,
-            relations=kept,
-            ranked_triples=triples,
-        )
+        return triples, kept
 
     def run_many(self, scenes: list[SyntheticScene]) -> list[SceneGraphResult]:
-        """Generate scene graphs for a batch of scenes."""
-        return [self.run(scene) for scene in scenes]
+        """Generate scene graphs for a batch of scenes.
+
+        With a resilience manager, an image whose detector fails
+        permanently is skipped (recorded in :attr:`skipped_images`)
+        instead of sinking the whole offline build — the merged graph
+        comes out partial, and dependent answers degrade.
+        """
+        if self.resilience is None:
+            return [self.run(scene) for scene in scenes]
+        results: list[SceneGraphResult] = []
+        for scene in scenes:
+            try:
+                results.append(self.run(scene))
+            except FaultToleranceError:
+                self.skipped_images.append(scene.image_id)
+        return results

@@ -1,0 +1,47 @@
+"""Tests for the graceful-degradation ladder's bottom rungs."""
+
+from repro.core.spoc import QuestionType
+from repro.resilience.degrade import (
+    classify_question_text,
+    keyword_query_graph,
+)
+
+
+class TestClassify:
+    def test_counting(self):
+        assert classify_question_text(
+            "How many dogs are on the grass?"
+        ) is QuestionType.COUNTING
+
+    def test_judgment(self):
+        assert classify_question_text(
+            "Is there a cat near the sofa?"
+        ) is QuestionType.JUDGMENT
+
+    def test_reasoning_default(self):
+        assert classify_question_text(
+            "What kind of animal is on the grass?"
+        ) is QuestionType.REASONING
+
+
+class TestKeywordFallback:
+    def test_builds_single_clause_graph_from_nouns(self):
+        graph = keyword_query_graph("Is there a dog near the fence?")
+        assert graph is not None
+        assert len(graph.vertices) == 1
+        spoc = graph.vertices[graph.main_index]
+        assert spoc.is_main
+        assert spoc.question_type is QuestionType.JUDGMENT
+        heads = {t.head for t in (spoc.subject, spoc.object)
+                 if t is not None}
+        assert "dog" in heads
+
+    def test_counting_question_keeps_subject_answer_role(self):
+        graph = keyword_query_graph("How many dogs are on the grass?")
+        assert graph is not None
+        spoc = graph.vertices[graph.main_index]
+        assert spoc.question_type is QuestionType.COUNTING
+        assert spoc.answer_role == "subject"
+
+    def test_no_usable_nouns_returns_none(self):
+        assert keyword_query_graph("zzzxqw vfrt qqq?") is None

@@ -1,0 +1,73 @@
+"""Tests for retry policies and deadline budgets (simulated time)."""
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.resilience import DeadlineBudget, RetryPolicy
+from repro.simtime import SimClock
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_multiplier=2.0,
+                             jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.8)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_multiplier=2.0,
+                             jitter=0.25)
+        first = policy.backoff(1, "executor.match", "dog")
+        second = policy.backoff(1, "executor.match", "dog")
+        assert first == second
+        base = 0.2
+        assert base * 0.75 <= first <= base * 1.25
+
+    def test_jitter_desynchronises_keys(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.25)
+        assert policy.backoff(1, "executor.match", "dog") != \
+            policy.backoff(1, "executor.match", "cat")
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1)
+
+
+class TestDeadlineBudget:
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget.start(SimClock(), 0.0)
+
+    def test_budget_tracks_clock_charges(self):
+        clock = SimClock()
+        clock.charge_amount("warmup", 1.0)  # pre-budget work is excluded
+        budget = DeadlineBudget.start(clock, limit=0.5)
+        assert budget.consumed == pytest.approx(0.0)
+        clock.charge_amount("work", 0.3)
+        assert budget.consumed == pytest.approx(0.3)
+        assert budget.remaining == pytest.approx(0.2)
+        assert not budget.exceeded
+
+    def test_exceeded_flips_past_limit(self):
+        clock = SimClock()
+        budget = DeadlineBudget.start(clock, limit=0.5)
+        clock.charge_amount("work", 0.6)
+        assert budget.exceeded
+
+    def test_check_raises_with_attribution(self):
+        clock = SimClock()
+        budget = DeadlineBudget.start(clock, limit=0.5)
+        clock.charge_amount("work", 0.6)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            budget.check("executor")
+        assert excinfo.value.site == "executor"
+        assert excinfo.value.elapsed_budget == pytest.approx(0.6)
