@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
-.PHONY: test lint lint-analysis bench chaos
+.PHONY: test lint lint-analysis docs-check profile bench chaos
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -23,6 +23,23 @@ lint-analysis:
 	else \
 		echo "mypy not installed — skipping type check (CI runs it)"; \
 	fi
+
+# docstring coverage gate on the documented packages (ruff pydocstyle
+# D rules, scoped — the rest of the tree is exempt)
+docs-check:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check --select D100,D101,D102,D103,D104,D105,D419 \
+			src/repro/core src/repro/observability; \
+	else \
+		echo "ruff not installed — skipping docs check (CI runs it)"; \
+	fi
+
+# deterministic per-stage profile of the fast MVQA suite; writes the
+# artifacts the CI observability job byte-diffs
+profile:
+	PYTHONPATH=src python -m repro profile --fast \
+		--snapshot metrics_snapshot.json --spans spans.jsonl \
+		--baseline BENCH_baseline.json
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks --benchmark-only -s

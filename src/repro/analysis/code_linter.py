@@ -78,6 +78,8 @@ def default_bindings() -> tuple[RuleBinding, ...]:
             LockDisciplineRule(),
             paths=("repro/core/cache.py", "repro/core/stats.py",
                    "repro/core/batch.py",
+                   "repro/observability/metrics.py",
+                   "repro/observability/spans.py",
                    "repro/resilience/breaker.py",
                    "repro/resilience/manager.py"),
         ),

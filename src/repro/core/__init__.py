@@ -26,6 +26,7 @@ from repro.core.pipeline import (
     SVQAConfig,
     estimate_parallel_latency,
 )
+from repro.observability.config import ObservabilityConfig
 from repro.core.stats import ExecutorStats, ExecutorStatsReport
 from repro.core.query_graph import (
     describe_query_graph,
@@ -56,6 +57,7 @@ __all__ = [
     "LRUCache",
     "MergeStats",
     "MergedGraph",
+    "ObservabilityConfig",
     "QueryGraph",
     "QueryGraphExecutor",
     "QuestionType",

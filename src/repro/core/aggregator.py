@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.graph import Graph, SubgraphView, k_hop_subgraph
+from repro.observability.spans import Tracer, maybe_span
 from repro.simtime import SimClock
 from repro.dataset.kg import INSTANCE_OF
 from repro.vision.scene_graph import SceneGraphResult
@@ -64,6 +65,7 @@ class MergedGraph:
 
     @property
     def is_partial(self) -> bool:
+        """True when at least one image was skipped during merging."""
         return bool(self.skipped_images)
 
     @property
@@ -101,11 +103,13 @@ class DataAggregator:
         config: AggregatorConfig | None = None,
         clock: SimClock | None = None,
         resilience: ResilienceManager | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.kg = kg
         self.config = config or AggregatorConfig()
         self.clock = clock
         self.resilience = resilience
+        self.tracer = tracer
 
     def merge(
         self,
@@ -155,26 +159,29 @@ class DataAggregator:
         instance_ids: list[int] = []
 
         for scene_graph in scene_graphs:
-            if self.resilience is None:
-                self._attach_scene_graph(
-                    graph, scene_graph, annotations, cache,
-                    cached_vertex_labels, concept_by_label,
-                    instance_ids, tallies,
+            with maybe_span(self.tracer, "aggregate.merge",
+                            image=scene_graph.image_id):
+                if self.resilience is None:
+                    self._attach_scene_graph(
+                        graph, scene_graph, annotations, cache,
+                        cached_vertex_labels, concept_by_label,
+                        instance_ids, tallies,
+                    )
+                    continue
+                # fault checks happen before the attach closure runs,
+                # so a skipped image never leaves half-merged vertices
+                # behind
+                self.resilience.call(
+                    "aggregator.merge", scene_graph.image_id,
+                    lambda sg=scene_graph: self._attach_scene_graph(
+                        graph, sg, annotations, cache,
+                        cached_vertex_labels, concept_by_label,
+                        instance_ids, tallies,
+                    ),
+                    clock=self.clock,
+                    fallback=lambda sg=scene_graph:
+                        skipped.append(sg.image_id),
                 )
-                continue
-            # fault checks happen before the attach closure runs, so a
-            # skipped image never leaves half-merged vertices behind
-            self.resilience.call(
-                "aggregator.merge", scene_graph.image_id,
-                lambda sg=scene_graph: self._attach_scene_graph(
-                    graph, sg, annotations, cache,
-                    cached_vertex_labels, concept_by_label,
-                    instance_ids, tallies,
-                ),
-                clock=self.clock,
-                fallback=lambda sg=scene_graph:
-                    skipped.append(sg.image_id),
-            )
 
         type_fraction = (
             len(cached_categories) / len(category_counts)

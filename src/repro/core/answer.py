@@ -46,6 +46,7 @@ class Answer:
         return sorted(images)
 
     def __str__(self) -> str:
+        """The bare answer string."""
         return self.value
 
 

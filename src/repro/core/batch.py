@@ -39,6 +39,7 @@ from repro.core.executor import ExecutorConfig, QueryGraphExecutor
 from repro.core.spoc import QueryGraph, QuestionType
 from repro.core.stats import ExecutorStats
 from repro.errors import ReproError
+from repro.observability.spans import Tracer, maybe_trace
 from repro.resilience.events import FaultEvent
 from repro.simtime import SimClock
 
@@ -96,6 +97,7 @@ class BatchExecutor:
         costs: dict[str, float] | None = None,
         stats: ExecutorStats | None = None,
         resilience: ResilienceManager | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -107,6 +109,7 @@ class BatchExecutor:
         self.costs = costs
         self.stats = stats if stats is not None else ExecutorStats()
         self.resilience = resilience
+        self.tracer = tracer
 
     def _new_shard(self) -> SimClock:
         if self.costs is not None:
@@ -117,12 +120,16 @@ class BatchExecutor:
         self,
         graphs: list[QueryGraph | None],
         order: list[int] | None = None,
+        trace_ids: list[str] | None = None,
     ) -> BatchResult:
         """Execute the graphs; ``None`` entries answer ``"unknown"``.
 
         ``order`` is the submission order (e.g. a
         :func:`~repro.core.scheduler.schedule_queries` plan); results
-        always come back in input order.
+        always come back in input order.  With a tracer attached,
+        ``trace_ids`` names each slot's trace (defaults to
+        ``q0000``-style input indices); each query records into its
+        worker's private segment buffer, merged at segment close.
         """
         indices = list(order) if order is not None \
             else list(range(len(graphs)))
@@ -147,24 +154,30 @@ class BatchExecutor:
                     self.merged, cache=self.cache, clock=clock,
                     config=self.config, stats=self.stats,
                     resilience=self.resilience,
+                    tracer=self.tracer,
                 )
                 local.executor = executor
+            trace_id = trace_ids[index] if trace_ids is not None \
+                else f"q{index:04d}"
             start = executor.clock.snapshot()
-            try:
-                answer = executor.execute(graph)
-            except ReproError as exc:
-                # fail soft per query, never hard per batch: the slot
-                # stays filled (and aligned) and the event says why
+            with maybe_trace(self.tracer, trace_id, executor.clock):
                 try:
-                    qtype = graph.question_type
-                except ValueError:
-                    qtype = QuestionType.REASONING
-                answer = fallback_answer(qtype, [
-                    FaultEvent("executor.execute", "error",
-                               detail=f"{type(exc).__name__}: {exc}"),
-                ])
-                self.stats.record_degraded()
+                    answer = executor.execute(graph)
+                except ReproError as exc:
+                    # fail soft per query, never hard per batch: the
+                    # slot stays filled (and aligned) and the event
+                    # says why
+                    try:
+                        qtype = graph.question_type
+                    except ValueError:
+                        qtype = QuestionType.REASONING
+                    answer = fallback_answer(qtype, [
+                        FaultEvent("executor.execute", "error",
+                                   detail=f"{type(exc).__name__}: {exc}"),
+                    ])
+                    self.stats.record_degraded()
             answer.latency = start.interval
+            self.stats.record_latency(answer.latency)
             answers[index] = answer
             latencies[index] = answer.latency
 

@@ -49,16 +49,20 @@ class EvictingCache:
         self._lock = threading.RLock()
 
     def get(self, key: Hashable) -> Any | None:
+        """Return the cached value, or ``None`` on a miss."""
         raise NotImplementedError
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting per the policy when full."""
         raise NotImplementedError
 
     def __len__(self) -> int:
+        """Number of entries currently stored."""
         raise NotImplementedError
 
     @property
     def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -75,6 +79,7 @@ class LFUCache(EvictingCache):
         self._last_used: dict[Hashable, int] = {}
 
     def get(self, key: Hashable) -> Any | None:
+        """Look up ``key``, bumping its frequency on a hit."""
         with self._lock:
             if key not in self._values:
                 self.misses += 1
@@ -84,6 +89,7 @@ class LFUCache(EvictingCache):
             return self._values[key]
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting the least-frequent entry."""
         if self.capacity == 0:
             return
         with self._lock:
@@ -108,6 +114,7 @@ class LFUCache(EvictingCache):
         del self._last_used[victim]
 
     def __len__(self) -> int:
+        """Number of entries currently stored."""
         with self._lock:
             return len(self._values)
 
@@ -120,6 +127,7 @@ class LRUCache(EvictingCache):
         self._values: OrderedDict[Hashable, Any] = OrderedDict()
 
     def get(self, key: Hashable) -> Any | None:
+        """Look up ``key``, marking it most recently used on a hit."""
         with self._lock:
             if key not in self._values:
                 self.misses += 1
@@ -129,6 +137,7 @@ class LRUCache(EvictingCache):
             return self._values[key]
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting the least-recent entry."""
         if self.capacity == 0:
             return
         with self._lock:
@@ -139,6 +148,7 @@ class LRUCache(EvictingCache):
             self._values[key] = value
 
     def __len__(self) -> int:
+        """Number of entries currently stored."""
         with self._lock:
             return len(self._values)
 
@@ -196,6 +206,7 @@ class KeyCentricCache:
         enabled_scope: bool = True,
         enabled_path: bool = True,
     ) -> KeyCentricCache:
+        """Build scope and path stores of ``pool_size`` entries each."""
         return cls(
             scope=make_cache(policy, pool_size),
             path=make_cache(policy, pool_size),
@@ -205,26 +216,31 @@ class KeyCentricCache:
 
     @classmethod
     def disabled(cls) -> KeyCentricCache:
+        """A no-op cache: every lookup misses, nothing is stored."""
         return cls.create(pool_size=0, enabled_scope=False,
                           enabled_path=False)
 
     # scope ---------------------------------------------------------------
     def get_scope(self, key: Hashable) -> Any | None:
+        """Scope-store lookup (``None`` when disabled or missing)."""
         if not self.enabled_scope:
             return None
         return self.scope.get(key)
 
     def put_scope(self, key: Hashable, value: Any) -> None:
+        """Store a matchVertex scope result (no-op when disabled)."""
         if self.enabled_scope:
             self.scope.put(key, value)
 
     # path ----------------------------------------------------------------
     def get_path(self, key: Hashable) -> Any | None:
+        """Path-store lookup (``None`` when disabled or missing)."""
         if not self.enabled_path:
             return None
         return self.path.get(key)
 
     def put_path(self, key: Hashable, value: Any) -> None:
+        """Store a getRelationpairs result (no-op when disabled)."""
         if self.enabled_path:
             self.path.put(key, value)
 
@@ -284,6 +300,7 @@ class KeyCentricCache:
 
     @property
     def item_count(self) -> int:
+        """Entries held across both stores."""
         return len(self.scope) + len(self.path)
 
 
@@ -298,5 +315,6 @@ class CacheReport:
 
     @classmethod
     def from_cache(cls, cache: KeyCentricCache) -> CacheReport:
+        """Snapshot the hit/miss counters of both stores."""
         return cls(cache.scope.hits, cache.scope.misses,
                    cache.path.hits, cache.path.misses)

@@ -41,6 +41,7 @@ from repro.nlp.dword import within_distance
 from repro.nlp.embeddings import max_score, rank_scores
 from repro.nlp.morphology import noun_singular
 from repro.nlp.semlex import are_synonyms
+from repro.observability.spans import Tracer, maybe_span
 from repro.resilience.events import FaultEvent
 from repro.simtime import SimClock
 from repro.core.aggregator import MergedGraph
@@ -119,6 +120,7 @@ class QueryGraphExecutor:
         config: ExecutorConfig | None = None,
         stats: ExecutorStats | None = None,
         resilience: ResilienceManager | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.merged = merged
         self.graph: Graph = merged.graph
@@ -132,6 +134,7 @@ class QueryGraphExecutor:
             )
         self.stats = stats
         self.resilience = resilience
+        self.tracer = tracer
         # per-execute fault provenance (executors are single-threaded:
         # the batch engine gives every worker its own instance)
         self._events: list[FaultEvent] | None = None
@@ -188,6 +191,16 @@ class QueryGraphExecutor:
         partial answer, and every incident lands on the answer's
         ``fault_events``.
         """
+        with maybe_span(self.tracer, "executor.execute",
+                        question=query_graph.question,
+                        clauses=len(query_graph.vertices)) as span:
+            answer = self._execute_inner(query_graph)
+            if span is not None:
+                span.set("answer", answer.value)
+                span.set("degraded", answer.degraded)
+            return answer
+
+    def _execute_inner(self, query_graph: QueryGraph) -> Answer:
         if self.config.validation != "off":
             self.validate(query_graph)
         if self.resilience is None:
@@ -325,20 +338,28 @@ class QueryGraphExecutor:
         query proceeds, typically toward "no"/"unknown") rather than
         killing the query.
         """
-        if self.resilience is None or (term is None and bound_labels is None):
-            return self._resolve_slot(term, bound_labels)
         if bound_labels is not None:
             key = "|".join(sorted(label.lower() for label in bound_labels))
-        else:
+        elif term is not None:
             key = term.head.lower()
-        return self.resilience.call(
-            "executor.match",
-            key=key,
-            fn=lambda: self._resolve_slot(term, bound_labels),
-            clock=self.clock,
-            events=self._events,
-            fallback=list,
-        )
+        else:
+            key = ""
+        with maybe_span(self.tracer, "executor.match", key=key) as span:
+            if self.resilience is None or \
+                    (term is None and bound_labels is None):
+                result = self._resolve_slot(term, bound_labels)
+            else:
+                result = self.resilience.call(
+                    "executor.match",
+                    key=key,
+                    fn=lambda: self._resolve_slot(term, bound_labels),
+                    clock=self.clock,
+                    events=self._events,
+                    fallback=list,
+                )
+            if span is not None:
+                span.set("matches", len(result))
+            return result
 
     def _scope_get_or_compute(
         self, key: tuple, compute: Callable[[], list[int]]
@@ -408,7 +429,11 @@ class QueryGraphExecutor:
                     direct.extend(self.graph.find_vertices(candidate))
             return [v.id for v in self._expand_to_instances(direct)]
 
-        ids, hit = self._scope_get_or_compute(key, compute)
+        with maybe_span(self.tracer, "cache.scope",
+                        key=str(key)) as span:
+            ids, hit = self._scope_get_or_compute(key, compute)
+            if span is not None:
+                span.set("hit", hit)
         if self.stats is not None:
             self.stats.record_scope(hit)
         if hit and self.clock is not None:
@@ -468,7 +493,11 @@ class QueryGraphExecutor:
             expanded = self._expand_to_instances(list(targets.values()))
             return [v.id for v in expanded]
 
-        ids, hit = self._scope_get_or_compute(key, compute)
+        with maybe_span(self.tracer, "cache.scope",
+                        key=str(key)) as span:
+            ids, hit = self._scope_get_or_compute(key, compute)
+            if span is not None:
+                span.set("hit", hit)
         if self.stats is not None:
             self.stats.record_scope(hit)
         if hit and self.clock is not None:
@@ -550,7 +579,11 @@ class QueryGraphExecutor:
             return [p for p in pairs
                     if p.edge.label not in _STRUCTURAL_LABELS]
 
-        pairs, hit = self._path_get_or_compute(key, compute)
+        with maybe_span(self.tracer, "cache.path",
+                        key=str(key)) as span:
+            pairs, hit = self._path_get_or_compute(key, compute)
+            if span is not None:
+                span.set("hit", hit)
         if self.stats is not None:
             self.stats.record_path(hit)
         if hit and self.clock is not None:

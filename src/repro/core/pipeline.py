@@ -21,6 +21,14 @@ from dataclasses import dataclass, field
 
 from repro.errors import QueryError, ReproError
 from repro.graph import Graph
+from repro.observability.config import ObservabilityConfig
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import (
+    Span,
+    Tracer,
+    maybe_span,
+    maybe_trace,
+)
 from repro.resilience.events import FaultEvent
 from repro.resilience.manager import ResilienceConfig, ResilienceManager
 from repro.simtime import SimClock
@@ -58,6 +66,9 @@ class SVQAConfig:
     #: resilience layer (fault injection / retry / deadline / breaker);
     #: ``None`` keeps the whole layer strictly zero-cost
     resilience: ResilienceConfig | None = None
+    #: observability layer (span tracing); ``None`` keeps the off path
+    #: bit-identical — no tracer is even constructed
+    observability: ObservabilityConfig | None = None
 
 
 class SVQA:
@@ -90,10 +101,18 @@ class SVQA:
         self._executor: QueryGraphExecutor | None = None
         self._stats = ExecutorStats()
         self._last_batch: BatchResult | None = None
+        self.tracer: Tracer | None = None
+        self._trace_seq = 0
+        obs = self.config.observability
+        if obs is not None and obs.trace:
+            self.tracer = Tracer(
+                max_spans_per_trace=obs.max_spans_per_trace
+            )
         self.resilience: ResilienceManager | None = None
         if self.config.resilience is not None:
             self.resilience = ResilienceManager(self.config.resilience,
-                                                stats=self._stats)
+                                                stats=self._stats,
+                                                tracer=self.tracer)
 
     def _make_cache(self) -> KeyCentricCache:
         config = self.config
@@ -120,27 +139,38 @@ class SVQA:
             raise QueryError(
                 f"unknown relation model: {self.config.relation_model!r}"
             )
-        self.clock.charge("model_load_sgg")
-        sgg_config = SGGConfig(**{
-            **self.config.sgg.__dict__, "use_tde": self.config.use_tde,
-        })
-        pipeline = SGGPipeline(
-            SimulatedDetector(self.config.detector),
-            RelationPredictor(spec),
-            sgg_config,
-            clock=self.clock,
-            resilience=self.resilience,
-        )
-        self.scene_graphs = pipeline.run_many(self.scenes)
-        aggregator = DataAggregator(self.kg, self.config.aggregator,
-                                    clock=self.clock,
-                                    resilience=self.resilience)
-        self.merged = aggregator.merge(self.scene_graphs, self.annotations,
-                                       skipped_images=pipeline.skipped_images)
+        with maybe_trace(self.tracer, "build", self.clock), \
+                maybe_span(self.tracer, "build",
+                           images=len(self.scenes)) as span:
+            self.clock.charge("model_load_sgg")
+            sgg_config = SGGConfig(**{
+                **self.config.sgg.__dict__,
+                "use_tde": self.config.use_tde,
+            })
+            pipeline = SGGPipeline(
+                SimulatedDetector(self.config.detector),
+                RelationPredictor(spec),
+                sgg_config,
+                clock=self.clock,
+                resilience=self.resilience,
+            )
+            self.scene_graphs = pipeline.run_many(self.scenes)
+            aggregator = DataAggregator(
+                self.kg, self.config.aggregator, clock=self.clock,
+                resilience=self.resilience, tracer=self.tracer,
+            )
+            self.merged = aggregator.merge(
+                self.scene_graphs, self.annotations,
+                skipped_images=pipeline.skipped_images,
+            )
+            if span is not None:
+                span.set("vertices", self.merged.graph.vertex_count)
+                span.set("skipped",
+                         len(self.merged.skipped_images))
         self._executor = QueryGraphExecutor(
             self.merged, cache=self._cache, clock=self.clock,
             config=self.config.executor, stats=self._stats,
-            resilience=self.resilience,
+            resilience=self.resilience, tracer=self.tracer,
         )
         return self.merged
 
@@ -149,12 +179,24 @@ class SVQA:
             raise QueryError("call build() before answering questions")
         return self._executor
 
+    def _next_trace_ids(self, count: int) -> list[str]:
+        """Allocate ``count`` sequential ``q0000``-style trace ids.
+
+        Ids are unique across the system's lifetime so repeated
+        ``answer``/``answer_many`` calls never collide in the span
+        export.
+        """
+        start = self._trace_seq
+        self._trace_seq += count
+        return [f"q{start + i:04d}" for i in range(count)]
+
     # ------------------------------------------------------------------
     # online phase
     # ------------------------------------------------------------------
     def parse_question(self, question: str) -> QueryGraph:
         """§IV: question -> ordered query graph."""
-        return generate_query_graph(question, clock=self.clock)
+        return generate_query_graph(question, clock=self.clock,
+                                    tracer=self.tracer)
 
     def _parse_resilient(
         self, question: str, events: list[FaultEvent]
@@ -173,7 +215,8 @@ class SVQA:
         try:
             graph = manager.call(
                 "parse.question", question,
-                lambda: generate_query_graph(question, clock=self.clock),
+                lambda: generate_query_graph(question, clock=self.clock,
+                                             tracer=self.tracer),
                 clock=self.clock, events=events,
             )
             return graph, False
@@ -211,12 +254,25 @@ class SVQA:
         :class:`~repro.resilience.events.FaultEvent` provenance.
         """
         executor = self._require_built()
+        trace_id = self._next_trace_ids(1)[0]
         start = self.clock.snapshot()
+        with maybe_trace(self.tracer, trace_id, self.clock), \
+                maybe_span(self.tracer, "question",
+                           question=question) as span:
+            answer = self._answer_inner(question, executor)
+            answer.latency = start.interval
+            if span is not None:
+                span.set("answer", answer.value)
+                span.set("degraded", answer.degraded)
+        self._stats.record_latency(answer.latency)
+        return answer
+
+    def _answer_inner(
+        self, question: str, executor: QueryGraphExecutor
+    ) -> Answer:
         if self.resilience is None:
             query_graph = self.parse_question(question)
-            answer = executor.execute(query_graph)
-            answer.latency = start.interval
-            return answer
+            return executor.execute(query_graph)
 
         from repro.resilience.degrade import classify_question_text
 
@@ -242,15 +298,19 @@ class SVQA:
                     answer.fault_events = events + answer.fault_events
                 if parse_degraded:
                     self._mark_parse_degraded(answer)
-        answer.latency = start.interval
         return answer
 
     def answer_query_graph(self, query_graph: QueryGraph) -> Answer:
         """Execute an already-parsed query graph."""
         executor = self._require_built()
+        trace_id = self._next_trace_ids(1)[0]
         start = self.clock.snapshot()
-        answer = executor.execute(query_graph)
+        with maybe_trace(self.tracer, trace_id, self.clock), \
+                maybe_span(self.tracer, "question",
+                           question=query_graph.question):
+            answer = executor.execute(query_graph)
         answer.latency = start.interval
+        self._stats.record_latency(answer.latency)
         return answer
 
     def answer_many(
@@ -270,22 +330,31 @@ class SVQA:
         """
         workers = self.config.workers if workers is None else workers
         self._require_built()
+        trace_ids = self._next_trace_ids(len(questions))
         graphs: list[QueryGraph | None] = []
         pre_events: list[list[FaultEvent]] = []
         parse_degraded: list[bool] = []
-        for question in questions:
+        for i, question in enumerate(questions):
             events: list[FaultEvent] = []
-            if self.resilience is None:
-                try:
-                    graphs.append(self.parse_question(question))
-                except ReproError:
-                    # any pipeline error (parse, tokenization, ...) must
-                    # cost the batch one slot, never the whole batch
-                    graphs.append(None)
-                degraded = False
-            else:
-                graph, degraded = self._parse_resilient(question, events)
-                graphs.append(graph)
+            # the parse phase runs on the main thread; its trace
+            # segment precedes the worker-side execute segment of the
+            # same question id (segments are ordered by entry sequence)
+            with maybe_trace(self.tracer, trace_ids[i], self.clock), \
+                    maybe_span(self.tracer, "question",
+                               question=question):
+                if self.resilience is None:
+                    try:
+                        graphs.append(self.parse_question(question))
+                    except ReproError:
+                        # any pipeline error (parse, tokenization, ...)
+                        # must cost the batch one slot, never the whole
+                        # batch
+                        graphs.append(None)
+                    degraded = False
+                else:
+                    graph, degraded = self._parse_resilient(question,
+                                                            events)
+                    graphs.append(graph)
             pre_events.append(events)
             parse_degraded.append(degraded)
 
@@ -300,9 +369,9 @@ class SVQA:
             self.merged, cache=self._cache,
             config=self.config.executor, workers=workers,
             costs=self.clock.costs, stats=self._stats,
-            resilience=self.resilience,
+            resilience=self.resilience, tracer=self.tracer,
         )
-        result = batch.run(graphs, order=order)
+        result = batch.run(graphs, order=order, trace_ids=trace_ids)
         result.merge_into(self.clock)
         self._last_batch = result
         if self.resilience is not None:
@@ -358,6 +427,40 @@ class SVQA:
     def last_batch(self) -> BatchResult | None:
         """The most recent ``answer_many`` run's :class:`BatchResult`."""
         return self._last_batch
+
+    @property
+    def stats(self) -> ExecutorStats:
+        """The shared execution-stats collector (metrics facade)."""
+        return self._stats
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The system-wide metrics registry behind :attr:`stats`."""
+        return self._stats.registry
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """JSON-ready registry dump (refreshes derived gauges first)."""
+        self._stats.snapshot()
+        return self._stats.registry.to_json()
+
+    def metrics_exposition(self) -> str:
+        """Prometheus text exposition (refreshes derived gauges first)."""
+        self._stats.snapshot()
+        return self._stats.registry.to_prometheus()
+
+    def finished_spans(self) -> list[Span]:
+        """Every recorded span, canonically ordered (empty when
+        observability is off)."""
+        if self.tracer is None:
+            return []
+        return self.tracer.finished_spans()
+
+    def spans_jsonl(self) -> str:
+        """The span export as JSON Lines (empty when observability is
+        off)."""
+        if self.tracer is None:
+            return ""
+        return self.tracer.to_jsonl()
 
     @property
     def elapsed(self) -> float:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.errors import ParseError, QueryParseError
 from repro.nlp.depparse import DependencyTree, parse
 from repro.nlp.semlex import are_synonyms
+from repro.observability.spans import Tracer, maybe_span
 from repro.simtime import SimClock
 from repro.core.clauses import segment_clauses
 from repro.core.spoc import DependencyKind, QueryGraph, SPOC, Term
@@ -24,31 +25,41 @@ from repro.core.spoc_extract import extract_spoc, validate_spoc
 
 
 def generate_query_graph(
-    question: str, clock: SimClock | None = None
+    question: str, clock: SimClock | None = None,
+    tracer: Tracer | None = None,
 ) -> QueryGraph:
     """Decompose a complex question into an ordered query graph.
 
     Raises :class:`~repro.errors.QueryParseError` when the question is
     outside the grammar (e.g. contains an unknown foreign word — the
-    Fig. 8(a) failure mode).
+    Fig. 8(a) failure mode).  With a tracer and an active trace, the
+    run is recorded as a ``query_graph`` span wrapping ``parse`` and
+    per-clause ``spoc`` spans.
     """
-    if clock is not None:
-        clock.charge("pos_tag")
-        clock.charge("dep_parse")
-    try:
-        tree = parse(question)
-    except ParseError as exc:
-        # forward the offending term so Fig. 8(a)-style failures stay
-        # attributable through the wrapping
-        raise QueryParseError(
-            f"cannot parse question: {exc}", term=exc.term
-        ) from exc
-    return query_graph_from_tree(tree, question, clock)
+    with maybe_span(tracer, "query_graph", question=question) as root:
+        if clock is not None:
+            clock.charge("pos_tag")
+            clock.charge("dep_parse")
+        with maybe_span(tracer, "parse"):
+            try:
+                tree = parse(question)
+            except ParseError as exc:
+                # forward the offending term so Fig. 8(a)-style failures
+                # stay attributable through the wrapping
+                raise QueryParseError(
+                    f"cannot parse question: {exc}", term=exc.term
+                ) from exc
+        graph = query_graph_from_tree(tree, question, clock, tracer)
+        if root is not None:
+            root.set("clauses", len(graph.vertices))
+            root.set("edges", len(graph.edges))
+        return graph
 
 
 def query_graph_from_tree(
     tree: DependencyTree, question: str = "",
     clock: SimClock | None = None,
+    tracer: Tracer | None = None,
 ) -> QueryGraph:
     """Algorithm 2's Parse + Connect stages on an existing parse tree."""
     if clock is not None:
@@ -56,11 +67,12 @@ def query_graph_from_tree(
     clauses = segment_clauses(tree)
     spocs: list[SPOC] = []
     for index, clause in enumerate(clauses):
-        if clock is not None:
-            clock.charge("spoc_extract")
-        spoc = extract_spoc(tree, clause, index)
-        validate_spoc(spoc)
-        spocs.append(spoc)
+        with maybe_span(tracer, "spoc", clause=index):
+            if clock is not None:
+                clock.charge("spoc_extract")
+            spoc = extract_spoc(tree, clause, index)
+            validate_spoc(spoc)
+            spocs.append(spoc)
 
     edges = _connect(spocs)
     return QueryGraph(vertices=spocs, edges=edges, question=question)

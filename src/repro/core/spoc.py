@@ -47,6 +47,7 @@ class Term:
     is_wh: bool = False
 
     def __str__(self) -> str:
+        """The term's surface text."""
         return self.text
 
 
@@ -80,6 +81,7 @@ class SPOC:
         raise ValueError(f"unknown slot role: {role!r}")
 
     def __repr__(self) -> str:
+        """Compact ``s=.. p=.. o=..`` rendering for debugging."""
         parts = [
             f"s={self.subject.text if self.subject else '?'}",
             f"p={self.predicate}",
@@ -130,6 +132,7 @@ class QueryGraph:
 
     @property
     def main_index(self) -> int:
+        """Index of the main clause (the one carrying the answer)."""
         for i, spoc in enumerate(self.vertices):
             if spoc.is_main:
                 return i
@@ -137,6 +140,7 @@ class QueryGraph:
 
     @property
     def question_type(self) -> QuestionType:
+        """The main clause's judgment/counting/reasoning type."""
         qtype = self.vertices[self.main_index].question_type
         if qtype is None:
             raise ValueError("main clause has no question type")
@@ -148,7 +152,9 @@ class QueryGraph:
         return [i for i in range(len(self.vertices)) if i not in targets]
 
     def out_edges(self, index: int) -> list[tuple[int, DependencyKind]]:
+        """Dependency edges leaving clause ``index``."""
         return [(dst, kind) for src, dst, kind in self.edges if src == index]
 
     def in_degree(self, index: int) -> int:
+        """Number of dependency edges entering clause ``index``."""
         return sum(1 for _, dst, _ in self.edges if dst == index)

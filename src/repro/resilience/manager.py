@@ -35,6 +35,7 @@ from repro.errors import (
     FaultToleranceError,
     InjectedFaultError,
 )
+from repro.observability.spans import Tracer, maybe_span
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.events import FaultEvent
 from repro.resilience.faults import FAULT_SITES, FaultInjector, FaultSpec
@@ -102,11 +103,13 @@ class ResilienceManager:
         self,
         config: ResilienceConfig | None = None,
         stats: ExecutorStats | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or ResilienceConfig()
         self.injector = FaultInjector(seed=self.config.seed,
                                       specs=self.config.fault_specs)
         self.stats = stats
+        self.tracer = tracer
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
 
@@ -156,7 +159,9 @@ class ResilienceManager:
         if site not in FAULT_SITES:
             raise ValueError(f"unregistered fault site: {site!r}")
         breaker = self._breaker(site)
-        if not breaker.allow():
+        allowed = breaker.allow()
+        self._publish_breaker_state(site, breaker)
+        if not allowed:
             self._record("breaker_short_circuit", site)
             if events is not None:
                 events.append(FaultEvent(site, "short-circuit",
@@ -181,12 +186,15 @@ class ResilienceManager:
                 tripped = breaker.record_failure()
                 if tripped:
                     self._record("breaker_trip", site)
+                self._publish_breaker_state(site, breaker)
                 if attempt + 1 < policy.max_attempts:
-                    if clock is not None:
-                        clock.charge_amount(
-                            "retry_backoff",
-                            policy.backoff(attempt, site, str(key)),
-                        )
+                    with maybe_span(self.tracer, "resilience.retry",
+                                    site=site, attempt=attempt + 1):
+                        if clock is not None:
+                            clock.charge_amount(
+                                "retry_backoff",
+                                policy.backoff(attempt, site, str(key)),
+                            )
                     self._record("retry", site)
                     if events is not None:
                         events.append(FaultEvent(site, "retry",
@@ -194,6 +202,7 @@ class ResilienceManager:
                 continue
             value = fn()
             breaker.record_success()
+            self._publish_breaker_state(site, breaker)
             if attempt > 0:
                 self._record("recovery", site)
                 if events is not None:
@@ -215,6 +224,13 @@ class ResilienceManager:
         if events is not None:
             events.append(FaultEvent(site, "degraded", detail=str(key)))
         return fallback()
+
+    def _publish_breaker_state(
+        self, site: str, breaker: CircuitBreaker
+    ) -> None:
+        """Refresh the ``svqa_breaker_state`` gauge after a transition."""
+        if self.stats is not None:
+            self.stats.record_breaker_state(site, breaker.state)
 
     def _record(self, incident: str, site: str) -> None:
         if self.stats is None:

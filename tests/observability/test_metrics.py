@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry (counters/gauges/histograms)."""
+
+import json
+
+import pytest
+
+from repro.observability.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svqa_test_total", "A test counter.")
+        counter.inc()
+        counter.inc(4)
+        assert counter.total() == 5
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svqa_test_total", "help.",
+                                   labels=("store",))
+        counter.inc(store="scope")
+        counter.inc(2, store="path")
+        assert counter.value(store="scope") == 1
+        assert counter.value(store="path") == 2
+        assert counter.total() == 3
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svqa_test_total", "help.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_label_schema_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svqa_test_total", "help.",
+                                   labels=("store",))
+        with pytest.raises(ValueError):
+            counter.inc(site="oops")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_and_signed_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("svqa_test", "help.")
+        gauge.set(3.5)
+        gauge.inc(-1.5)
+        assert gauge.value() == 2.0
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("svqa_test", "help.",
+                                  buckets=(1.0, 2.0, 4.0))
+        hist.observe(0.5)   # le=1,2,4
+        hist.observe(3.0)   # le=4
+        hist.observe(100.0)  # only +Inf
+        text = registry.to_prometheus()
+        assert 'svqa_test_bucket{le="1"} 1' in text
+        assert 'svqa_test_bucket{le="2"} 1' in text
+        assert 'svqa_test_bucket{le="4"} 2' in text
+        assert 'svqa_test_bucket{le="+Inf"} 3' in text
+        assert "svqa_test_count 3" in text
+
+    def test_sum_tracks_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("svqa_test", "help.", buckets=(1.0,))
+        hist.observe(0.25)
+        hist.observe(0.5)
+        snap = registry.to_json()
+        series = snap["svqa_test"]["series"][0]
+        assert series["sum"] == 0.75
+        assert series["count"] == 2
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("svqa_test", "help.", buckets=(2.0, 1.0))
+
+    def test_default_bucket_sets_are_sorted(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert list(COUNT_BUCKETS) == sorted(COUNT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("svqa_test_total", "help.")
+        b = registry.counter("svqa_test_total", "help.")
+        assert a is b
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("svqa_test_total", "help.")
+        with pytest.raises(ValueError):
+            registry.gauge("svqa_test_total", "help.")
+
+    def test_label_schema_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("svqa_test_total", "help.", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("svqa_test_total", "help.", labels=("b",))
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name!", "help.")
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svqa_test_total", "help.")
+        counter.inc(7)
+        registry.reset()
+        assert counter.total() == 0
+
+    def test_prometheus_exposition_shape(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svqa_test_total", "A test counter.",
+                                   labels=("store",))
+        counter.inc(store="scope")
+        text = registry.to_prometheus()
+        assert "# HELP svqa_test_total A test counter." in text
+        assert "# TYPE svqa_test_total counter" in text
+        assert 'svqa_test_total{store="scope"} 1' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svqa_test_total", "help.",
+                                   labels=("key",))
+        counter.inc(key='a"b\\c\nd')
+        text = registry.to_prometheus()
+        assert '{key="a\\"b\\\\c\\nd"}' in text
+
+    def test_json_snapshot_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            counter = registry.counter("svqa_b_total", "help.",
+                                       labels=("x",))
+            counter.inc(x="2")
+            counter.inc(x="1")
+            registry.counter("svqa_a_total", "help.").inc()
+            return json.dumps(registry.to_json(), sort_keys=True)
+
+        assert build() == build()

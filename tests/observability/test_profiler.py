@@ -1,0 +1,82 @@
+"""Unit tests for the profiler (stage breakdown + baseline payload)."""
+
+import json
+
+from repro.observability.profiler import (
+    BASELINE_SCHEMA_VERSION,
+    StageRow,
+    build_baseline,
+    dump_deterministic_json,
+    stage_breakdown,
+)
+from repro.observability.spans import Span
+
+
+def make_span(name, trace, span_id, parent, start, duration, **attrs):
+    return Span(name=name, trace_id=trace, span_id=span_id,
+                parent_id=parent, start=start, duration=duration,
+                attributes=attrs)
+
+
+class TestStageBreakdown:
+    def test_self_time_excludes_direct_children(self):
+        spans = [
+            make_span("question", "q0000", 0, None, 0.0, 1.0),
+            make_span("query_graph", "q0000", 1, 0, 0.0, 0.4),
+            make_span("parse", "q0000", 2, 1, 0.0, 0.1),
+        ]
+        rows = {r.name: r for r in stage_breakdown(spans)}
+        assert rows["question"].self_time == 0.6
+        assert rows["query_graph"].self_time == 0.3
+        assert rows["parse"].self_time == 0.1
+        assert rows["question"].total == 1.0
+
+    def test_same_parent_id_in_other_trace_not_confused(self):
+        spans = [
+            make_span("question", "q0000", 0, None, 0.0, 1.0),
+            make_span("question", "q0001", 0, None, 0.0, 2.0),
+            make_span("parse", "q0001", 1, 0, 0.0, 0.5),
+        ]
+        rows = {r.name: r for r in stage_breakdown(spans)}
+        # the q0001 child must only reduce the q0001 root's self time
+        assert rows["question"].self_time == 1.0 + 1.5
+
+    def test_rows_sorted_by_self_time_then_name(self):
+        spans = [
+            make_span("parse", "q0000", 0, None, 0.0, 0.1),
+            make_span("spoc", "q0000", 1, None, 0.0, 0.9),
+        ]
+        rows = stage_breakdown(spans)
+        assert [r.name for r in rows] == ["spoc", "parse"]
+
+    def test_mean_of_empty_row_is_zero(self):
+        row = StageRow(name="x", count=0, total=0.0, self_time=0.0)
+        assert row.mean == 0.0
+
+
+class TestBaseline:
+    def payload(self):
+        return build_baseline(
+            suite="mvqa-fast",
+            config={"seed": 5, "workers": 1},
+            accuracy={"overall": 0.85},
+            latency={"simulated_total": 8.5},
+            stages=[StageRow("parse", 10, 1.0, 1.0)],
+            metrics={"svqa_queries_total": {"series": []}},
+        )
+
+    def test_schema_version_stamped(self):
+        assert self.payload()["schema_version"] == \
+            BASELINE_SCHEMA_VERSION
+
+    def test_no_wall_clock_or_timestamps(self):
+        text = json.dumps(self.payload()).lower()
+        assert "wall" not in text
+        assert "timestamp" not in text
+
+    def test_dump_is_deterministic_and_newline_terminated(self):
+        a = dump_deterministic_json(self.payload())
+        b = dump_deterministic_json(self.payload())
+        assert a == b
+        assert a.endswith("\n")
+        assert json.loads(a)["suite"] == "mvqa-fast"
