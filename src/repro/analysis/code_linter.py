@@ -15,6 +15,7 @@ from pathlib import Path
 import ast
 
 from repro.analysis.code_rules import (
+    CandidateIndexDisciplineRule,
     CodeRule,
     FaultSiteDisciplineRule,
     LockDisciplineRule,
@@ -66,7 +67,12 @@ def default_bindings() -> tuple[RuleBinding, ...]:
       output (the scheduler order doubles as batch submission order);
     * RP006 everywhere: failures are absorbed only through the
       resilience guard, and guard call sites may only name registered
-      fault sites.
+      fault sites;
+    * RP007 everywhere, except the two modules that legitimately
+      touch the candidate index (``graph/model.py``, whose mutation
+      API is the one sanctioned writer, and ``graph/candidates.py``,
+      the index itself): no out-of-band index mutation, and
+      scope/path cache keys must embed the graph epoch.
     """
     return (
         RuleBinding(
@@ -90,6 +96,10 @@ def default_bindings() -> tuple[RuleBinding, ...]:
         ),
         RuleBinding(MutableDefaultRule()),
         RuleBinding(FaultSiteDisciplineRule()),
+        RuleBinding(
+            CandidateIndexDisciplineRule(),
+            allow=("repro/graph/model.py", "repro/graph/candidates.py"),
+        ),
     )
 
 

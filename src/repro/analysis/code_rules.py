@@ -34,6 +34,14 @@ RP006     ERROR      failure handling goes through the resilience
                      (``*.call(...)`` / ``*.check(...)`` on a
                      manager/injector) must be registered in
                      :data:`repro.resilience.faults.FAULT_SITES`
+RP007     ERROR      candidate-index discipline: the
+                     ``VertexCandidateIndex`` is mutated
+                     (``add_label``/``remove_label``) only through the
+                     ``Graph`` mutation API (allowlisted:
+                     ``graph/model.py`` and ``graph/candidates.py``),
+                     and executor cache-key tuples tagged ``"scope"``,
+                     ``"scope-poss"`` or ``"path"`` must carry the
+                     graph epoch as their second element
 ========  =========  ====================================================
 
 Every rule is an :class:`ast.NodeVisitor`-based :class:`CodeRule`
@@ -567,6 +575,96 @@ class FaultSiteDisciplineRule(CodeRule):
         return None
 
 
+class CandidateIndexDisciplineRule(CodeRule):
+    """RP007: candidate-index mutation and epoch-tagged cache keys.
+
+    Two checks guarding the sublinear vertex-matching layer:
+
+    * :class:`~repro.graph.candidates.VertexCandidateIndex` may be
+      mutated (``add_label``/``remove_label``) only through the
+      ``Graph`` mutation API — any other call site desynchronizes the
+      index from vertex storage and the matcher silently diverges
+      from the linear-scan reference (the binding allowlists
+      ``repro/graph/model.py`` and ``repro/graph/candidates.py``);
+    * executor cache-key tuples — literals whose first element is one
+      of the kind tags ``"scope"``, ``"scope-poss"``, ``"path"`` —
+      must carry the graph epoch as their second element, so a merged
+      graph mutated between queries can never replay a stale cached
+      scope or relation-pair set (PR 5's headline staleness bug).
+    """
+
+    rule_id = "RP007"
+    description = ("VertexCandidateIndex mutated only via the Graph "
+                   "mutation API; scope/path cache keys must embed "
+                   "the graph epoch as their second element")
+
+    #: methods that mutate a VertexCandidateIndex
+    INDEX_MUTATORS: frozenset[str] = frozenset({
+        "add_label", "remove_label",
+    })
+    #: first-element tags identifying executor cache-key tuples
+    KEY_KINDS: frozenset[str] = frozenset({"scope", "scope-poss", "path"})
+
+    def check(self, tree: ast.Module, path: str) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                found.extend(self._check_index_mutation(node, path))
+            elif isinstance(node, ast.Tuple):
+                found.extend(self._check_cache_key(node, path))
+        return found
+
+    def _check_index_mutation(
+        self, node: ast.Call, path: str
+    ) -> list[Diagnostic]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in self.INDEX_MUTATORS:
+            return []
+        receiver = qualified_name(func.value, {})
+        if receiver is None or "candidate_index" not in receiver:
+            return []
+        return [self.diagnostic(
+            path, node,
+            f"direct candidate-index mutation "
+            f"{receiver}.{func.attr}() outside the Graph mutation "
+            "API",
+            hint="mutate the graph through add_vertex/remove_vertex/"
+                 "relabel_vertex — Graph keeps the candidate index "
+                 "and the epoch counter in lockstep",
+        )]
+
+    def _check_cache_key(
+        self, node: ast.Tuple, path: str
+    ) -> list[Diagnostic]:
+        if not node.elts:
+            return []
+        head = node.elts[0]
+        if not isinstance(head, ast.Constant) \
+                or head.value not in self.KEY_KINDS:
+            return []
+        if len(node.elts) < 2:
+            return [self.diagnostic(
+                path, node,
+                f"cache key tagged {head.value!r} has no epoch "
+                "element",
+                hint="make the graph epoch the key's second element: "
+                     f"({head.value!r}, epoch, ...)",
+            )]
+        second = node.elts[1]
+        if not isinstance(second, ast.Constant) \
+                and "epoch" in ast.unparse(second).lower():
+            return []
+        return [self.diagnostic(
+            path, node,
+            f"cache key tagged {head.value!r} does not carry the "
+            "graph epoch as its second element — a mutated merged "
+            "graph would replay stale cached results",
+            hint="key on the observed epoch, e.g. "
+                 f"({head.value!r}, self._observe_epoch(), ...)",
+        )]
+
+
 #: every invariant rule, in id order
 ALL_CODE_RULES: tuple[type[CodeRule], ...] = (
     WallClockRule,
@@ -575,11 +673,13 @@ ALL_CODE_RULES: tuple[type[CodeRule], ...] = (
     OrderedIterationRule,
     MutableDefaultRule,
     FaultSiteDisciplineRule,
+    CandidateIndexDisciplineRule,
 )
 
 
 __all__ = [
     "ALL_CODE_RULES",
+    "CandidateIndexDisciplineRule",
     "CodeRule",
     "FaultSiteDisciplineRule",
     "LockDisciplineRule",

@@ -141,6 +141,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ["graphs validated", str(stats.graphs_validated)],
         ["validation warnings", str(stats.validation_warnings)],
         ["validation errors", str(stats.validation_errors)],
+        ["stale scope drops", str(stats.stale_scope_drops)],
     ]
     if svqa.resilience is not None:
         rows += [
@@ -167,11 +168,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     runs with the same seed produce byte-identical artifacts — the CI
     observability job diffs the ``--snapshot`` JSON across two runs.
     """
+    import json
+
     from repro.core import ObservabilityConfig
     from repro.dataset.mvqa import build_mvqa
     from repro.eval.harness import evaluate, format_table, percentage
     from repro.observability import (
         build_baseline,
+        charge_ceiling_violations,
         dump_deterministic_json,
         stage_breakdown,
     )
@@ -206,6 +210,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
           f"makespan: {batch.simulated_makespan:.2f} s")
 
     snapshot = svqa.metrics_snapshot()
+    clock_counts = {k: int(v) for k, v in
+                    sorted(svqa.clock.counts.items())}
     if args.snapshot:
         with open(args.snapshot, "w", encoding="utf-8") as fh:
             fh.write(dump_deterministic_json(snapshot))
@@ -238,10 +244,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             },
             stages=stages,
             metrics=snapshot,
+            clock_counts=clock_counts,
         )
         with open(args.baseline, "w", encoding="utf-8") as fh:
             fh.write(dump_deterministic_json(baseline))
         print(f"baseline written to {args.baseline}")
+    if args.check_ceiling:
+        with open(args.check_ceiling, encoding="utf-8") as fh:
+            recorded = json.load(fh)
+        violations = charge_ceiling_violations(recorded, clock_counts)
+        if violations:
+            for violation in violations:
+                print(f"CHARGE REGRESSION: {violation}",
+                      file=sys.stderr)
+            return 1
+        ceiling = recorded.get("clock_counts", {}).get("vertex_match")
+        print(f"vertex_match charges within baseline ceiling "
+              f"({clock_counts.get('vertex_match', 0)} <= {ceiling})")
     return 0
 
 
@@ -498,6 +517,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="write the span export as JSON Lines")
     profile.add_argument("--baseline", default=None, metavar="PATH",
                          help="write the BENCH_baseline.json payload")
+    profile.add_argument("--check-ceiling", default=None, metavar="PATH",
+                         help="compare this run's SimClock charge "
+                              "counts against a recorded baseline and "
+                              "fail if vertex_match exceeds its "
+                              "ceiling")
     profile.set_defaults(handler=_cmd_profile)
 
     trace = commands.add_parser(
@@ -554,7 +578,7 @@ def main(argv: list[str] | None = None) -> int:
 
     lint_code = commands.add_parser(
         "lint-code",
-        help="run the repo-invariant linter (RP001-RP006) over the "
+        help="run the repo-invariant linter (RP001-RP007) over the "
              "source tree",
     )
     lint_code.add_argument("paths", nargs="*", default=None,

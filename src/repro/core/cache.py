@@ -56,6 +56,12 @@ class EvictingCache:
         """Insert ``value``, evicting per the policy when full."""
         raise NotImplementedError
 
+    def drop_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Remove every entry whose key satisfies ``predicate``;
+        returns how many were dropped.  Hit/miss counters are
+        untouched — retirement is not a lookup."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
         """Number of entries currently stored."""
         raise NotImplementedError
@@ -113,6 +119,16 @@ class LFUCache(EvictingCache):
         del self._frequency[victim]
         del self._last_used[victim]
 
+    def drop_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Remove every entry whose key satisfies ``predicate``."""
+        with self._lock:
+            victims = [k for k in self._values if predicate(k)]
+            for key in victims:
+                del self._values[key]
+                del self._frequency[key]
+                del self._last_used[key]
+            return len(victims)
+
     def __len__(self) -> int:
         """Number of entries currently stored."""
         with self._lock:
@@ -146,6 +162,14 @@ class LRUCache(EvictingCache):
             elif len(self._values) >= self.capacity:
                 self._values.popitem(last=False)
             self._values[key] = value
+
+    def drop_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Remove every entry whose key satisfies ``predicate``."""
+        with self._lock:
+            victims = [k for k in self._values if predicate(k)]
+            for key in victims:
+                del self._values[key]
+            return len(victims)
 
     def __len__(self) -> int:
         """Number of entries currently stored."""
@@ -297,6 +321,30 @@ class KeyCentricCache:
             # the leader failed; fall back to computing independently
             return compute(), False
         return entry.value, True
+
+    def retire_stale(self, epoch: int) -> int:
+        """Drop every scope/path entry tagged with a graph epoch other
+        than ``epoch``; returns how many entries were retired.
+
+        Executor cache keys follow the ``(kind, epoch, ...)``
+        convention (lint rule RP007), so staleness is decidable from
+        the key alone — entries written under an older epoch describe a
+        merged graph that no longer exists and must never be served.
+        """
+        def stale(key: Hashable) -> bool:
+            return (
+                isinstance(key, tuple)
+                and len(key) >= 2
+                and isinstance(key[1], int)
+                and key[1] != epoch
+            )
+
+        dropped = 0
+        if self.enabled_scope:
+            dropped += self.scope.drop_where(stale)
+        if self.enabled_path:
+            dropped += self.path.drop_where(stale)
+        return dropped
 
     @property
     def item_count(self) -> int:

@@ -6,7 +6,10 @@ vertices toward the main clause.  For every vertex it
 1. **matches** the subject/object terms to merged-graph vertices
    (``matchVertex``: normalized-Levenshtein label matching, possessive
    resolution through KG edges, and ``is a`` / ``instance of``
-   expansion so "pets" finds dog/cat/bird instances);
+   expansion so "pets" finds dog/cat/bird instances) — served by the
+   graph's :class:`~repro.graph.candidates.VertexCandidateIndex`, so
+   only a small candidate set is examined instead of every distinct
+   label, and ``vertex_match`` is charged per candidate *examined*;
 2. **retrieves** the relation pairs between the two vertex sets
    (``getRelationpairs``);
 3. **filters** pairs by the predicate's most similar edge label
@@ -16,8 +19,11 @@ vertices toward the main clause.  For every vertex it
 4. **propagates** the surviving labels along S2S/S2O/O2S/O2O edges to
    its consumers (Update stage).
 
-The key-centric cache short-circuits steps 1 (scope) and 2 (path);
-every uncached operation charges the simulated clock with its true
+The key-centric cache short-circuits steps 1 (scope) and 2 (path).
+Scope and path cache keys carry the merged graph's **epoch** (its
+monotone mutation counter) so a mutation after merge retires every
+stale entry instead of serving deleted or mis-labeled vertices; every
+uncached operation charges the simulated clock with its true
 data-dependent cost, which is what the latency experiments measure.
 """
 
@@ -145,6 +151,15 @@ class QueryGraphExecutor:
             label for label in merged.edge_labels
             if label not in _STRUCTURAL_LABELS
         ]
+        # candidate work done by the current slot resolution (feeds the
+        # executor.match span's candidates/pruned attributes); cached
+        # scope values replay the numbers of the original miss, so the
+        # attributes stay worker-count invariant
+        self._slot_candidates = 0
+        self._slot_pruned = 0
+        # last graph epoch this executor saw; when the graph moves on,
+        # scope/path entries tagged with older epochs are retired
+        self._seen_epoch = self.graph.epoch
 
     # ------------------------------------------------------------------
     # Algorithm 3 main loop
@@ -345,6 +360,8 @@ class QueryGraphExecutor:
         else:
             key = ""
         with maybe_span(self.tracer, "executor.match", key=key) as span:
+            self._slot_candidates = 0
+            self._slot_pruned = 0
             if self.resilience is None or \
                     (term is None and bound_labels is None):
                 result = self._resolve_slot(term, bound_labels)
@@ -359,11 +376,25 @@ class QueryGraphExecutor:
                 )
             if span is not None:
                 span.set("matches", len(result))
+                span.set("candidates", self._slot_candidates)
+                span.set("pruned", self._slot_pruned)
             return result
 
+    def _observe_epoch(self) -> int:
+        """The merged graph's current epoch; the first observation of a
+        new epoch retires every scope/path entry computed under older
+        ones (the epoch lives at index 1 of each cache key)."""
+        epoch = self.graph.epoch
+        if epoch != self._seen_epoch:
+            dropped = self.cache.retire_stale(epoch)
+            self._seen_epoch = epoch
+            if dropped and self.stats is not None:
+                self.stats.record_stale_scope_drops(dropped)
+        return epoch
+
     def _scope_get_or_compute(
-        self, key: tuple, compute: Callable[[], list[int]]
-    ) -> tuple[list[int], bool]:
+        self, key: tuple, compute: Callable[[], tuple[list[int], int, int]]
+    ) -> tuple[tuple[list[int], int, int], bool]:
         """Scope-store access under the ``cache.scope`` fault site;
         a tripped breaker routes around the store (cache bypass)."""
         if self.resilience is None:
@@ -415,34 +446,57 @@ class QueryGraphExecutor:
         return self.match_vertex_label(term.head)
 
     def match_vertex_label(self, label: str) -> list[Vertex]:
-        """Label -> vertices, LD match + is-a/instance-of expansion."""
-        key = ("scope", label.lower())
+        """Label -> vertices: candidate-index match + is-a/instance-of
+        expansion.
 
-        def compute() -> list[int]:
+        The candidate index returns exactly the labels the old linear
+        ``_labels_match`` scan accepted, but only *examines* the small
+        bucket-selected candidate set — and ``vertex_match`` is charged
+        per candidate examined.  The cache key carries the graph epoch,
+        so a mutated graph can never serve a stale id list (which is
+        why no ``has_vertex`` filter is needed on the way out).
+        """
+        epoch = self._observe_epoch()
+        key = ("scope", epoch, label.lower())
+
+        def compute() -> tuple[list[int], int, int]:
             if self.clock is not None:
                 self.clock.charge("scope_scan")
-                self.clock.charge("vertex_match",
-                                  times=len(self.graph.vertex_labels))
+            match = self.graph.candidate_index.match(
+                label, self.config.ld_threshold,
+                include_synonyms=not _is_category(label),
+            )
+            if self.clock is not None:
+                self.clock.charge("vertex_match", times=match.examined)
             direct: list[Vertex] = []
-            for candidate in self.graph.vertex_labels.labels():
-                if self._labels_match(label, candidate):
-                    direct.extend(self.graph.find_vertices(candidate))
-            return [v.id for v in self._expand_to_instances(direct)]
+            for candidate in match.labels:
+                direct.extend(self.graph.find_vertices(candidate))
+            ids = [v.id for v in self._expand_to_instances(direct)]
+            return ids, match.examined, match.pruned
 
         with maybe_span(self.tracer, "cache.scope",
                         key=str(key)) as span:
-            ids, hit = self._scope_get_or_compute(key, compute)
+            (ids, examined, pruned), hit = \
+                self._scope_get_or_compute(key, compute)
             if span is not None:
                 span.set("hit", hit)
+                span.set("candidates", examined)
+                span.set("pruned", pruned)
+        self._slot_candidates += examined
+        self._slot_pruned += pruned
         if self.stats is not None:
             self.stats.record_scope(hit)
         if hit and self.clock is not None:
             self.clock.charge("cache_hit")
-        return [self.graph.vertex(i) for i in ids
-                if self.graph.has_vertex(i)]
+        return [self.graph.vertex(i) for i in ids]
 
     def _labels_match(self, query: str, candidate: str) -> bool:
-        """``matchVertex``'s label test.
+        """``matchVertex``'s label test — the reference predicate.
+
+        Production matching goes through the graph's
+        :class:`~repro.graph.candidates.VertexCandidateIndex`, which
+        must accept exactly the labels this predicate accepts (the
+        index/scan equivalence property test holds the two together).
 
         Exact, number-normalized, and synonym matches always count;
         the normalized-Levenshtein fallback only applies to words of
@@ -468,19 +522,27 @@ class QueryGraphExecutor:
     def _match_possessive(self, term: Term) -> list[Vertex]:
         """"Harry Potter's girlfriend": resolve the owner, follow its
         most similar out-edge, expand the targets."""
-        key = ("scope-poss", term.owner.lower(), term.head.lower())
+        epoch = self._observe_epoch()
+        key = ("scope-poss", epoch, term.owner.lower(), term.head.lower())
 
-        def compute() -> list[int]:
+        def compute() -> tuple[list[int], int, int]:
+            base_candidates = self._slot_candidates
+            base_pruned = self._slot_pruned
             owners = self.match_vertex_label(term.owner)
+            examined = self._slot_candidates - base_candidates
+            pruned = self._slot_pruned - base_pruned
             out_labels = sorted({
                 edge.label
                 for owner in owners
                 for edge in self.graph.out_edges(owner.id)
                 if edge.label not in _STRUCTURAL_LABELS
             })
+            if not out_labels:
+                # an owner with no candidate out-edges has nothing to
+                # score: no embed_score charge, no maxScore call
+                return [], examined, pruned
             if self.clock is not None:
-                self.clock.charge("embed_score",
-                                  times=max(1, len(out_labels)))
+                self.clock.charge("embed_score", times=len(out_labels))
             best, score = max_score(term.head, out_labels)
             targets: dict[int, Vertex] = {}
             if best is not None and \
@@ -491,19 +553,29 @@ class QueryGraphExecutor:
                             vertex = self.graph.vertex(edge.dst)
                             targets.setdefault(vertex.id, vertex)
             expanded = self._expand_to_instances(list(targets.values()))
-            return [v.id for v in expanded]
+            return [v.id for v in expanded], examined, pruned
 
+        base_candidates = self._slot_candidates
+        base_pruned = self._slot_pruned
         with maybe_span(self.tracer, "cache.scope",
                         key=str(key)) as span:
-            ids, hit = self._scope_get_or_compute(key, compute)
+            (ids, examined, pruned), hit = \
+                self._scope_get_or_compute(key, compute)
             if span is not None:
                 span.set("hit", hit)
+                span.set("candidates", examined)
+                span.set("pruned", pruned)
+        # assignment, not +=: a miss already accumulated the nested
+        # owner lookup's numbers, a hit replays the stored ones — both
+        # land on the same total, keeping span attributes worker-count
+        # invariant
+        self._slot_candidates = base_candidates + examined
+        self._slot_pruned = base_pruned + pruned
         if self.stats is not None:
             self.stats.record_scope(hit)
         if hit and self.clock is not None:
             self.clock.charge("cache_hit")
-        return [self.graph.vertex(i) for i in ids
-                if self.graph.has_vertex(i)]
+        return [self.graph.vertex(i) for i in ids]
 
     def _expand_to_instances(self, vertices: list[Vertex]) -> list[Vertex]:
         """Close the match set downward: concepts -> hyponym concepts
@@ -542,13 +614,15 @@ class QueryGraphExecutor:
         subjects: list[Vertex],
         objects: list[Vertex],
     ) -> list[RelationPair]:
-        # the path key is (subject-key, object-key) only — no
+        # the path key is epoch + (subject-key, object-key) — no
         # predicate.  Retrieval collects *every* relation between the
         # two endpoint sets; predicate filtering (maxScore) runs on
         # the retrieved pairs afterwards, so one cached neighborhood
-        # serves every predicate over the same endpoints.
+        # serves every predicate over the same endpoints.  The epoch
+        # retires cached neighborhoods when the graph mutates.
         key = (
             "path",
+            self._observe_epoch(),
             self._slot_key(spoc.subject, binding["subject"]),
             self._slot_key(spoc.object, binding["object"]),
         )

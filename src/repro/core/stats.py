@@ -94,6 +94,8 @@ class ExecutorStatsReport:
     deadline_cutoffs: int = 0
     #: answers salvaged by the degradation ladder
     degraded_answers: int = 0
+    #: scope/path cache entries retired by graph-epoch invalidation
+    stale_scope_drops: int = 0
 
     @property
     def scope_hit_rate(self) -> float:
@@ -183,6 +185,10 @@ class ExecutorStats:
         self._degraded = r.counter(
             "svqa_degraded_answers_total",
             "Answers salvaged by the degradation ladder.")
+        self._stale_drops = r.counter(
+            "svqa_stale_scope_drops_total",
+            "Scope/path cache entries retired by graph-epoch "
+            "invalidation.")
         self._hit_ratio = r.gauge(
             "svqa_cache_hit_ratio",
             "Cache hit ratio by store (refreshed at snapshot time).",
@@ -274,6 +280,12 @@ class ExecutorStats:
         """One answer was salvaged by the degradation ladder."""
         self._degraded.inc()
 
+    def record_stale_scope_drops(self, count: int) -> None:
+        """``count`` stale cache entries were retired after the merged
+        graph moved to a new epoch."""
+        if count > 0:
+            self._stale_drops.inc(count)
+
     def reset(self) -> None:
         """Zero every counter, histogram, and gauge."""
         with self._lock:
@@ -326,4 +338,5 @@ class ExecutorStats:
             breaker_short_circuits=int(self._short_circuits.total()),
             deadline_cutoffs=int(self._deadline_cutoffs.total()),
             degraded_answers=int(self._degraded.total()),
+            stale_scope_drops=int(self._stale_drops.total()),
         )

@@ -2,6 +2,7 @@
 traversal, induced subgraph views, persistence, and pattern matching.
 """
 
+from repro.graph.candidates import CandidateMatch, VertexCandidateIndex
 from repro.graph.model import Edge, Graph, Vertex
 from repro.graph.query import (
     RelationPair,
@@ -27,12 +28,14 @@ from repro.graph.traverse import (
 )
 
 __all__ = [
+    "CandidateMatch",
     "Edge",
     "Graph",
     "GraphStats",
     "RelationPair",
     "SubgraphView",
     "Vertex",
+    "VertexCandidateIndex",
     "bfs_order",
     "connected_components",
     "dfs_order",

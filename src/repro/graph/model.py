@@ -19,6 +19,7 @@ from collections.abc import Iterable, Iterator
 from typing import Any
 
 from repro.errors import DuplicateVertexError, EdgeNotFoundError, VertexNotFoundError
+from repro.graph.candidates import VertexCandidateIndex
 from repro.graph.index import LabelIndex
 
 
@@ -87,6 +88,18 @@ class Graph:
         self._next_edge_id = 0
         self.vertex_labels = LabelIndex()
         self.edge_labels = LabelIndex()
+        self.candidate_index = VertexCandidateIndex()
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotone mutation counter: bumped by every structural
+        mutation (vertex or edge), so anything derived from the graph
+        — executor scope/path cache entries in particular — can be
+        tagged with the epoch it was computed under and retired when
+        the graph moves on.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # mutation
@@ -112,6 +125,8 @@ class Graph:
         self._out[vertex_id] = []
         self._in[vertex_id] = []
         self.vertex_labels.add(label, vertex_id)
+        self.candidate_index.add_label(label)
+        self._epoch += 1
         return vertex
 
     def add_edge(
@@ -132,6 +147,7 @@ class Graph:
         self._out[src].append(edge.id)
         self._in[dst].append(edge.id)
         self.edge_labels.add(label, edge.id)
+        self._epoch += 1
         return edge
 
     def remove_edge(self, edge_id: int) -> None:
@@ -142,6 +158,7 @@ class Graph:
         self._out[edge.src].remove(edge_id)
         self._in[edge.dst].remove(edge_id)
         self.edge_labels.remove(edge.label, edge_id)
+        self._epoch += 1
 
     def remove_vertex(self, vertex_id: int) -> None:
         """Remove a vertex and every edge incident to it."""
@@ -154,13 +171,18 @@ class Graph:
         del self._out[vertex_id]
         del self._in[vertex_id]
         self.vertex_labels.remove(vertex.label, vertex_id)
+        self.candidate_index.remove_label(vertex.label)
+        self._epoch += 1
 
     def relabel_vertex(self, vertex_id: int, label: str) -> None:
-        """Change a vertex label, keeping the label index consistent."""
+        """Change a vertex label, keeping the label indexes consistent."""
         vertex = self.vertex(vertex_id)
         self.vertex_labels.remove(vertex.label, vertex_id)
+        self.candidate_index.remove_label(vertex.label)
         vertex.label = label
         self.vertex_labels.add(label, vertex_id)
+        self.candidate_index.add_label(label)
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # access

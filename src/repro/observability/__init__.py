@@ -30,6 +30,7 @@ from repro.observability.profiler import (
     BASELINE_SCHEMA_VERSION,
     StageRow,
     build_baseline,
+    charge_ceiling_violations,
     dump_deterministic_json,
     stage_breakdown,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "StageRow",
     "Tracer",
     "build_baseline",
+    "charge_ceiling_violations",
     "dump_deterministic_json",
     "maybe_span",
     "maybe_trace",

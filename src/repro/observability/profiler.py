@@ -21,8 +21,13 @@ from typing import Any
 from repro.observability.spans import Span
 
 #: schema version stamped into every baseline artifact, bumped on any
-#: backwards-incompatible change to the JSON layout
-BASELINE_SCHEMA_VERSION = 1
+#: backwards-incompatible change to the JSON layout.  v2 added
+#: ``clock_counts`` (per-operation SimClock charge counts — the
+#: ``vertex_match`` entry is the ceiling the CI regression check
+#: enforces) and changed the charge model ``vertex_match`` counts
+#: under (per candidate *examined* by the candidate index, not per
+#: distinct merged-graph label).
+BASELINE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -82,13 +87,17 @@ def build_baseline(
     latency: dict[str, float],
     stages: list[StageRow],
     metrics: dict[str, Any],
+    clock_counts: dict[str, int] | None = None,
 ) -> dict[str, Any]:
-    """Assemble the ``BENCH_baseline.json`` payload.
+    """Assemble the ``BENCH_baseline.json`` payload (schema v2).
 
     The artifact deliberately carries **no wall-clock numbers** — it
     must be byte-reproducible on any machine — and no timestamps (the
     repo's determinism rules forbid reading the system clock; git
-    history dates the artifact).
+    history dates the artifact).  ``clock_counts`` records how many
+    times each SimClock operation was charged; the checked-in counts
+    double as regression ceilings (see
+    :func:`charge_ceiling_violations`).
     """
     return {
         "schema_version": BASELINE_SCHEMA_VERSION,
@@ -104,7 +113,44 @@ def build_baseline(
             for row in stages
         ],
         "metrics": metrics,
+        "clock_counts": {
+            k: int(v) for k, v in sorted((clock_counts or {}).items())
+        },
     }
+
+
+def charge_ceiling_violations(
+    baseline: dict[str, Any],
+    counts: dict[str, int],
+    operations: tuple[str, ...] = ("vertex_match",),
+) -> list[str]:
+    """Compare a run's SimClock charge counts against a baseline's
+    recorded counts; returns one message per operation that exceeds
+    its recorded ceiling (empty means no regression).
+
+    The checked-in baseline counts are the contract: the candidate
+    index must keep ``vertex_match`` at or below the number of
+    candidates it examined when the baseline was recorded, so an
+    accidental return to linear scanning fails CI instead of silently
+    re-inflating simulated latency.
+    """
+    recorded = baseline.get("clock_counts", {})
+    violations: list[str] = []
+    for operation in operations:
+        ceiling = recorded.get(operation)
+        if ceiling is None:
+            violations.append(
+                f"{operation}: baseline has no recorded ceiling "
+                "(regenerate BENCH_baseline.json with schema >= 2)"
+            )
+            continue
+        current = counts.get(operation, 0)
+        if current > ceiling:
+            violations.append(
+                f"{operation}: {current} charges exceed the baseline "
+                f"ceiling of {ceiling}"
+            )
+    return violations
 
 
 def dump_deterministic_json(payload: dict[str, Any]) -> str:

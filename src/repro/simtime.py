@@ -48,8 +48,8 @@ DEFAULT_COSTS: dict[str, float] = {
     "spoc_extract": 0.008,          # SPOC extraction per clause
     "splitter_forward": 0.6,        # one question through a DL splitter
     # --- graph / executor ---
-    "vertex_match": 0.00008,        # one candidate comparison in matchVertex
-    "scope_scan": 0.003,            # full label scan for one SPOC endpoint
+    "vertex_match": 0.00008,        # one candidate examined in matchVertex
+    "scope_scan": 0.003,            # candidate-index probe for one SPOC endpoint
     "path_probe": 0.008,            # relation-pair retrieval for one vertex pair set
     "edge_scan": 0.000028,          # scanning one edge during getRelations
     "embed_score": 0.0007,          # one maxScore embedding comparison

@@ -297,7 +297,7 @@ class TestBindings:
     def test_default_bindings_cover_all_rules(self):
         ids = {b.rule.rule_id for b in default_bindings()}
         assert ids == {"RP001", "RP002", "RP003", "RP004", "RP005",
-                       "RP006"}
+                       "RP006", "RP007"}
 
 
 class TestSyntaxError:

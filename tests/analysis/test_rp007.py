@@ -1,0 +1,126 @@
+"""Tests for RP007: candidate-index discipline and epoch-tagged keys."""
+
+import textwrap
+
+from repro.analysis import RuleBinding, lint_source
+from repro.analysis.code_rules import CandidateIndexDisciplineRule
+
+
+def lint(source, path="src/repro/core/fixture.py"):
+    return lint_source(textwrap.dedent(source), path,
+                       bindings=(RuleBinding(CandidateIndexDisciplineRule()),))
+
+
+class TestIndexMutation:
+    def test_direct_add_label_fires(self):
+        report = lint(
+            """
+            def sneak(graph, label):
+                graph.candidate_index.add_label(label)
+            """
+        )
+        assert [d.rule_id for d in report] == ["RP007"]
+        assert "add_label" in next(iter(report)).message
+
+    def test_direct_remove_label_fires(self):
+        report = lint(
+            """
+            def sneak(self, label):
+                self.graph.candidate_index.remove_label(label)
+            """
+        )
+        assert [d.rule_id for d in report] == ["RP007"]
+
+    def test_lookup_is_fine(self):
+        report = lint(
+            """
+            def probe(self, label):
+                return self.graph.candidate_index.match(label, 0.34)
+            """
+        )
+        assert len(report) == 0
+
+    def test_unrelated_add_label_is_fine(self):
+        # only candidate-index receivers are in scope for the rule
+        report = lint(
+            """
+            def annotate(store, label):
+                store.add_label(label)
+            """
+        )
+        assert len(report) == 0
+
+    def test_allowlisted_module_is_exempt(self):
+        bindings = (RuleBinding(
+            CandidateIndexDisciplineRule(),
+            allow=("repro/graph/model.py",),
+        ),)
+        report = lint_source(
+            "self.candidate_index.add_label(label)\n",
+            "src/repro/graph/model.py", bindings=bindings,
+        )
+        assert len(report) == 0
+
+
+class TestEpochTaggedKeys:
+    def test_label_only_scope_key_fires(self):
+        report = lint(
+            """
+            def key_for(label):
+                return ("scope", label.lower())
+            """
+        )
+        assert [d.rule_id for d in report] == ["RP007"]
+        assert "epoch" in next(iter(report)).message
+
+    def test_constant_second_element_fires(self):
+        report = lint(
+            """
+            def key_for(owner, head):
+                return ("scope-poss", 7, owner, head)
+            """
+        )
+        assert [d.rule_id for d in report] == ["RP007"]
+
+    def test_bare_kind_tag_fires(self):
+        report = lint('key = ("path",)\n')
+        assert [d.rule_id for d in report] == ["RP007"]
+
+    def test_epoch_name_is_fine(self):
+        report = lint(
+            """
+            def key_for(self, label):
+                epoch = self.graph.epoch
+                return ("scope", epoch, label.lower())
+            """
+        )
+        assert len(report) == 0
+
+    def test_epoch_call_is_fine(self):
+        report = lint(
+            """
+            def key_for(self, a, b):
+                return ("path", self._observe_epoch(), a, b)
+            """
+        )
+        assert len(report) == 0
+
+    def test_unrelated_tuples_are_fine(self):
+        report = lint(
+            """
+            POINT = ("x", "y")
+            ROW = ("scoped", 1)
+            """
+        )
+        assert len(report) == 0
+
+
+class TestRepoIsClean:
+    def test_package_source_passes_rp007(self):
+        from repro.analysis import (
+            default_bindings,
+            default_source_root,
+            lint_paths,
+        )
+        report = lint_paths([default_source_root()], default_bindings())
+        assert not [d for d in report if d.rule_id == "RP007"]

@@ -323,3 +323,59 @@ class TestThreadSafety:
         assert all(value == [42] for value, _ in results)
         # exactly one miss (the leader); everyone else observed a hit
         assert sum(1 for _, hit in results if not hit) == 1
+
+
+class TestDropWhere:
+    @pytest.mark.parametrize("factory", [LFUCache, LRUCache])
+    def test_drops_matching_keys_only(self, factory):
+        cache = factory(8)
+        for key in ("a", "b", "stale-1", "stale-2"):
+            cache.put(key, key.upper())
+        dropped = cache.drop_where(lambda k: k.startswith("stale"))
+        assert dropped == 2
+        assert cache.get("a") == "A"
+        assert cache.get("stale-1") is None
+
+    @pytest.mark.parametrize("factory", [LFUCache, LRUCache])
+    def test_counters_untouched(self, factory):
+        cache = factory(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("z")
+        hits, misses = cache.hits, cache.misses
+        cache.drop_where(lambda k: True)
+        assert (cache.hits, cache.misses) == (hits, misses)
+        assert len(cache) == 0
+
+    def test_surviving_entries_still_evict_correctly(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.drop_where(lambda k: k == "a")
+        cache.put("c", 3)
+        cache.put("d", 4)  # b is now least frequent
+        assert len(cache) == 2
+
+
+class TestRetireStale:
+    def test_retires_only_older_epochs(self):
+        cache = KeyCentricCache.create(pool_size=16)
+        cache.put_scope(("scope", 1, "dog"), [1])
+        cache.put_scope(("scope", 2, "dog"), [2])
+        cache.put_path(("path", 1, "a", "b"), [(1, 2)])
+        dropped = cache.retire_stale(2)
+        assert dropped == 2
+        assert cache.get_scope(("scope", 2, "dog")) == [2]
+        assert cache.get_scope(("scope", 1, "dog")) is None
+        assert cache.get_path(("path", 1, "a", "b")) is None
+
+    def test_ignores_keys_without_epoch_shape(self):
+        cache = KeyCentricCache.create(pool_size=8)
+        cache.put_scope("plain", [1])
+        cache.put_scope(("scope", "no-epoch"), [2])
+        assert cache.retire_stale(5) == 0
+        assert cache.get_scope("plain") == [1]
+
+    def test_disabled_cache_is_a_noop(self):
+        cache = KeyCentricCache.disabled()
+        assert cache.retire_stale(3) == 0

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core import (
     DependencyKind,
+    ExecutorStats,
     KeyCentricCache,
     MergedGraph,
     QueryGraph,
@@ -353,3 +354,117 @@ class TestCachingConsistency:
         executor.execute(graph)
         executor.execute(graph)
         assert clock_warm.elapsed < clock_cold.elapsed
+
+
+class TestEpochInvalidation:
+    """Regression: scope/path cache keys carrying the label alone
+    replay stale results after the merged graph mutates — the executor
+    must key on the graph epoch and retire entries from dead epochs."""
+
+    QUESTION = "How many dogs are standing on the grass?"
+
+    @staticmethod
+    def make_mutable_setup():
+        """Two dogs standing on grass, no KG concepts: relabeling or
+        removing one dog must visibly change the count (with concepts,
+        instance-of expansion would mask scope staleness)."""
+        graph = Graph(name="merged")
+
+        def instance(label, image_id):
+            return graph.add_vertex(
+                label, {"kind": "instance", "image_id": image_id}
+            )
+
+        dog0 = instance("dog", 0)
+        grass0 = instance("grass", 0)
+        dog1 = instance("dog", 1)
+        grass1 = instance("grass", 1)
+        graph.add_edge(dog0.id, grass0.id, "standing on", {"image_id": 0})
+        graph.add_edge(dog1.id, grass1.id, "standing on", {"image_id": 1})
+        stats = MergeStats({}, [], 0.0, 0.0, 0, 0, 0)
+        merged = MergedGraph(graph=graph, stats=stats,
+                             instance_ids=[dog0.id, dog1.id])
+        return merged, dog1
+
+    def test_relabel_between_identical_queries(self):
+        merged, dog1 = self.make_mutable_setup()
+        executor = QueryGraphExecutor(
+            merged, cache=KeyCentricCache.create(pool_size=50)
+        )
+        first = executor.execute(generate_query_graph(self.QUESTION))
+        assert first.value == "2"
+        merged.graph.relabel_vertex(dog1.id, "cat")
+        # a label-only cache key replays the stale scope (the relabeled
+        # vertex still exists, so no liveness filter can save it)
+        second = executor.execute(generate_query_graph(self.QUESTION))
+        assert second.value == "1"
+
+    def test_removal_between_identical_queries(self):
+        merged, dog1 = self.make_mutable_setup()
+        executor = QueryGraphExecutor(
+            merged, cache=KeyCentricCache.create(pool_size=50)
+        )
+        assert executor.execute(
+            generate_query_graph(self.QUESTION)
+        ).value == "2"
+        merged.graph.remove_vertex(dog1.id)
+        # stale path-cache pairs would still count the removed dog
+        assert executor.execute(
+            generate_query_graph(self.QUESTION)
+        ).value == "1"
+
+    def test_stale_entries_are_retired_and_counted(self):
+        merged, dog1 = self.make_mutable_setup()
+        stats = ExecutorStats()
+        executor = QueryGraphExecutor(
+            merged, cache=KeyCentricCache.create(pool_size=50),
+            stats=stats,
+        )
+        executor.execute(generate_query_graph(self.QUESTION))
+        assert stats.snapshot().stale_scope_drops == 0
+        merged.graph.relabel_vertex(dog1.id, "cat")
+        executor.execute(generate_query_graph(self.QUESTION))
+        assert stats.snapshot().stale_scope_drops > 0
+
+    def test_unmutated_graph_still_hits_the_cache(self):
+        merged, _ = self.make_mutable_setup()
+        stats = ExecutorStats()
+        executor = QueryGraphExecutor(
+            merged, cache=KeyCentricCache.create(pool_size=50),
+            stats=stats,
+        )
+        executor.execute(generate_query_graph(self.QUESTION))
+        executor.execute(generate_query_graph(self.QUESTION))
+        report = stats.snapshot()
+        assert report.scope_hits > 0
+        assert report.stale_scope_drops == 0
+
+
+class TestPossessiveShortCircuit:
+    """An owner with no candidate out-edges has nothing to score: no
+    embed_score charge, no maxScore call, empty result."""
+
+    def test_no_out_edges_charges_nothing(self):
+        graph = Graph(name="merged")
+        owner = graph.add_vertex(
+            "Harry Potter", {"kind": "instance", "image_id": 0}
+        )
+        stats = MergeStats({}, [], 0.0, 0.0, 0, 0, 0)
+        merged = MergedGraph(graph=graph, stats=stats,
+                             instance_ids=[owner.id])
+        clock = SimClock()
+        executor = QueryGraphExecutor(merged, clock=clock)
+        term = Term("Harry Potter's girlfriend", "girlfriend",
+                    owner="Harry Potter")
+        assert executor.match_vertex(term) == []
+        assert clock.counts.get("embed_score", 0) == 0
+
+    def test_owner_with_out_edges_still_scores(self, executor):
+        clock = SimClock()
+        merged = make_merged()
+        charged = QueryGraphExecutor(merged, clock=clock)
+        term = Term("Harry Potter's girlfriend", "girlfriend",
+                    owner="Harry Potter")
+        matches = charged.match_vertex(term)
+        assert {v.label for v in matches} >= {"Ginny Weasley"}
+        assert clock.counts.get("embed_score", 0) > 0
