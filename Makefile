@@ -1,6 +1,7 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
-.PHONY: test lint lint-analysis docs-check profile bench chaos
+.PHONY: test lint lint-analysis docs-check profile bench chaos \
+	serve serve-smoke
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -48,3 +49,13 @@ bench:
 # gracefully (no unhandled exception, every degraded answer attributed)
 chaos:
 	PYTHONPATH=src python -m repro chaos --fast
+
+# long-lived QA server over the movie scenario (POST /ask,
+# GET /healthz, GET /metrics)
+serve:
+	PYTHONPATH=src python -m repro serve
+
+# boot a real server on an ephemeral port and exercise all three
+# endpoints over HTTP (the CI serve-smoke job runs the same script)
+serve-smoke:
+	python scripts/serve_smoke.py

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``repro serve`` (make serve-smoke / CI).
+
+Boots the real threaded server on an ephemeral port, then checks the
+three endpoints over actual HTTP:
+
+* ``POST /ask`` with the seeded flagship question answers correctly
+  and carries the full contract (``answer``/``question_type``/
+  ``sources``/``meta``);
+* ``GET /healthz`` reports a ready index and all breakers closed;
+* ``GET /metrics`` parses as Prometheus text and counts the request.
+
+Exits non-zero on any violation; always tears the server down.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.dataset.movie import FLAGSHIP_ANSWER, FLAGSHIP_QUESTION  # noqa: E402
+from repro.observability import parse_prometheus  # noqa: E402
+
+STARTUP_PATTERN = re.compile(r"serving .* on (http://[\d.]+:\d+)")
+
+
+def fail(message):
+    print(f"SMOKE FAILURE: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def http(method, url, payload=None, headers=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method=method,
+                                     headers=headers or {})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def check_ask(base):
+    status, body = http("POST", base + "/ask",
+                        {"question": FLAGSHIP_QUESTION})
+    if status != 200:
+        fail(f"/ask returned {status}")
+    payload = json.loads(body)
+    if sorted(payload) != ["answer", "meta", "question_type", "sources"]:
+        fail(f"/ask contract keys wrong: {sorted(payload)}")
+    if payload["answer"] != FLAGSHIP_ANSWER:
+        fail(f"flagship answer {payload['answer']!r} != "
+             f"{FLAGSHIP_ANSWER!r}")
+    meta_keys = sorted(payload["meta"])
+    expected = ["confidence", "deadline_s", "degraded", "fault_events",
+                "latency"]
+    if meta_keys != expected:
+        fail(f"/ask meta keys wrong: {meta_keys}")
+    if sorted(payload["sources"]) != ["images", "support"]:
+        fail(f"/ask sources keys wrong: {sorted(payload['sources'])}")
+    print(f"  /ask ok: answer={payload['answer']!r} "
+          f"latency={payload['meta']['latency']}s")
+
+
+def check_deadline(base):
+    status, body = http("POST", base + "/ask",
+                        {"question": FLAGSHIP_QUESTION},
+                        headers={"Deadline-Ms": "0.0005"})
+    payload = json.loads(body)
+    if status != 200 or not payload["meta"]["degraded"]:
+        fail("tiny Deadline-Ms did not produce a degraded 200")
+    kinds = {event["kind"] for event in payload["meta"]["fault_events"]}
+    if "deadline" not in kinds:
+        fail(f"no deadline fault event in {kinds}")
+    print("  /ask deadline cutoff ok: degraded partial answer")
+
+
+def check_healthz(base):
+    status, body = http("GET", base + "/healthz")
+    if status != 200:
+        fail(f"/healthz returned {status}")
+    payload = json.loads(body)
+    if sorted(payload) != ["admission", "breakers", "index", "status"]:
+        fail(f"/healthz shape wrong: {sorted(payload)}")
+    if payload["status"] != "ok" or not payload["index"]["ready"]:
+        fail(f"service not healthy: {payload}")
+    states = set(payload["breakers"].values())
+    if len(payload["breakers"]) != 7 or states != {"closed"}:
+        fail(f"breaker map wrong: {payload['breakers']}")
+    print(f"  /healthz ok: {len(payload['breakers'])} breakers closed, "
+          f"epoch {payload['index']['graph_epoch']}")
+
+
+def check_metrics(base):
+    status, body = http("GET", base + "/metrics")
+    if status != 200:
+        fail(f"/metrics returned {status}")
+    families = parse_prometheus(body)  # raises on malformed text
+    for name in ("svqa_http_requests_total", "svqa_admission_total",
+                 "svqa_serve_batch_size"):
+        if name not in families:
+            fail(f"{name} missing from /metrics")
+    served = sum(
+        value
+        for _, labels, value in
+        families["svqa_http_requests_total"]["samples"]
+        if labels.get("route") == "/ask" and labels.get("code") == "200"
+    )
+    if served < 2:
+        fail(f"/metrics counted {served} served /ask requests, "
+             "expected >= 2")
+    print(f"  /metrics ok: {len(families)} families, "
+          f"{served:.0f} served /ask requests")
+
+
+def main():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        cwd=REPO_ROOT, env=env, text=True,
+    )
+    try:
+        line = server.stdout.readline()
+        match = STARTUP_PATTERN.search(line or "")
+        if match is None:
+            rest = server.stdout.read() if server.poll() is not None \
+                else ""
+            fail(f"server did not start: {line!r}{rest}")
+        base = match.group(1)
+        print(f"server up at {base}")
+        check_ask(base)
+        check_deadline(base)
+        check_healthz(base)
+        check_metrics(base)
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@
 Commands
 --------
 ``ask``           answer one question over the movie scenario (Figure 1)
+``serve``         long-lived QA server: POST /ask, /healthz, /metrics
 ``mvqa``          build MVQA and evaluate SVQA on it (Exp-1 / Table III)
 ``bench``         concurrent batch benchmark + executor statistics
 ``profile``       MVQA suite with tracing: per-stage sim-time breakdown
@@ -20,7 +21,7 @@ import argparse
 import sys
 
 from repro.core import SVQA, SVQAConfig, describe_query_graph, \
-    generate_query_graph
+    generate_query_graph, render_answer
 from repro.errors import QueryError
 
 
@@ -29,6 +30,24 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {value}"
         )
     return value
 
@@ -59,10 +78,45 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     except QueryError as exc:
         print(f"cannot answer: {exc}", file=sys.stderr)
         return 1
-    print(f"Q: {question}")
-    print(f"A: {answer.value}")
-    if answer.supporting_images:
-        print(f"   evidence images: {answer.supporting_images}")
+    if args.json:
+        # the same stable Answer.to_dict() shape the serving layer's
+        # POST /ask emits — one wire contract across all surfaces
+        print(answer.to_json())
+    else:
+        print(render_answer(answer, question))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Build the pipeline once, then serve /ask, /healthz, /metrics."""
+    from repro.serve import ServeConfig, build_service, make_qa_server
+
+    config = ServeConfig(
+        scenario=args.scenario,
+        seed=args.seed,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        batch_wait=args.batch_wait,
+        rate=args.rate,
+        burst=args.burst,
+        max_queue=args.max_queue,
+        soft_queue=args.soft_queue,
+        default_deadline_ms=args.deadline_ms,
+        chaos=args.chaos,
+    )
+    service = build_service(config)
+    server = make_qa_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {args.scenario} scenario on http://{host}:{port} "
+          f"(workers={args.workers}, max_batch={args.max_batch})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -285,8 +339,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except QueryError as exc:
         print(f"cannot answer: {exc}", file=sys.stderr)
         return 1
-    print(f"Q: {question}")
-    print(f"A: {answer.value}")
+    print(render_answer(answer, question))
     print()
     spans = svqa.finished_spans()
     if args.build:
@@ -326,6 +379,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     rows = []
     unattributed = 0
+    dump_lines: list[str] = []
     for rate in rates:
         resilience = ResilienceConfig.chaos(
             rate, seed=args.seed, query_deadline=args.deadline
@@ -339,6 +393,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         stats = svqa.execution_report().stats
         degraded = [a for a in result.answers if a.degraded]
         unattributed += sum(1 for a in degraded if not a.fault_events)
+        if args.dump:
+            import json
+
+            # one JSON line per (rate, question): the payload is the
+            # same stable Answer.to_dict() shape POST /ask returns
+            dump_lines.extend(
+                json.dumps(
+                    {"rate": rate, "question": question.text,
+                     "payload": answer.to_dict()},
+                    sort_keys=True, separators=(",", ":"),
+                )
+                for question, answer in
+                zip(questions, result.answers, strict=True)
+            )
         summary = result.summary()
         rows.append([
             f"{rate:.2f}", percentage(summary["overall"]),
@@ -356,6 +424,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         title=f"Chaos sweep over {len(questions)} MVQA questions "
               f"(seed={args.seed})",
     ))
+    if args.dump:
+        with open(args.dump, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(dump_lines) + "\n")
+        print(f"answer dump written to {args.dump} "
+              f"({len(dump_lines)} records)")
     if unattributed:
         print(f"ERROR: {unattributed} degraded answer(s) carry no "
               "fault provenance", file=sys.stderr)
@@ -475,7 +548,52 @@ def main(argv: list[str] | None = None) -> int:
     ask = commands.add_parser("ask", help="answer a question over the "
                                           "movie scenario")
     ask.add_argument("question", nargs="?", default=None)
+    ask.add_argument("--json", action="store_true",
+                     help="emit the stable Answer.to_dict() JSON "
+                          "payload (the same shape POST /ask returns)")
     ask.set_defaults(handler=_cmd_ask)
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived QA server: POST /ask, GET /healthz, "
+             "GET /metrics",
+    )
+    serve.add_argument("--scenario", choices=("movie", "mvqa"),
+                       default="movie",
+                       help="corpus built once at startup")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8030,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for shed decisions and chaos faults")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="batch-executor worker threads")
+    serve.add_argument("--max-batch", type=_positive_int, default=8,
+                       help="micro-batch size cap")
+    serve.add_argument("--batch-wait", type=_non_negative_float,
+                       default=0.0,
+                       help="micro-batch coalescing window in wall "
+                            "seconds (0 = inline, deterministic)")
+    serve.add_argument("--rate", type=_positive_float, default=10.0,
+                       help="token-bucket refill per client per "
+                            "simulated second")
+    serve.add_argument("--burst", type=_positive_int, default=20,
+                       help="token-bucket capacity per client")
+    serve.add_argument("--max-queue", type=_positive_int, default=64,
+                       help="hard in-flight bound (503 above it)")
+    serve.add_argument("--soft-queue", type=int, default=None,
+                       help="probabilistic shedding starts here "
+                            "(default: 3/4 of --max-queue)")
+    serve.add_argument("--deadline-ms", type=_positive_float,
+                       default=None,
+                       help="default per-request deadline in simulated "
+                            "milliseconds when no Deadline-Ms header "
+                            "is sent")
+    serve.add_argument("--chaos", type=_unit_rate, default=None,
+                       metavar="RATE",
+                       help="serve under fault injection at this "
+                            "per-site rate")
+    serve.set_defaults(handler=_cmd_serve)
 
     mvqa = commands.add_parser("mvqa", help="evaluate SVQA on MVQA")
     mvqa.add_argument("--fast", action="store_true")
@@ -549,6 +667,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-query simulated-seconds budget")
     chaos.add_argument("--workers", type=_positive_int, default=1,
                        help="worker threads for batch answering")
+    chaos.add_argument("--dump", default=None, metavar="PATH",
+                       help="write every answer as JSON Lines using "
+                            "the stable Answer.to_dict() payload")
     chaos.set_defaults(handler=_cmd_chaos)
 
     stats = commands.add_parser("stats", help="MVQA dataset statistics")

@@ -8,7 +8,12 @@ from repro.core.aggregator import (
     MergedGraph,
     MergeStats,
 )
-from repro.core.answer import Answer, fallback_answer, final_answer
+from repro.core.answer import (
+    Answer,
+    fallback_answer,
+    final_answer,
+    render_answer,
+)
 from repro.core.batch import BatchExecutor, BatchResult
 from repro.core.cache import (
     CacheReport,
@@ -75,6 +80,7 @@ __all__ = [
     "generate_query_graph",
     "make_cache",
     "query_graph_from_tree",
+    "render_answer",
     "schedule_queries",
     "segment_clauses",
     "validate_spoc",

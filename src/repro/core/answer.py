@@ -4,10 +4,16 @@ Three question types (§V): judgment (yes/no), counting (a number), and
 reasoning (an entity/category name).  The answer object also carries
 its supporting relation pairs so examples can show *why* an answer was
 produced.
+
+:meth:`Answer.to_dict` is the **single** stable JSON shape of an
+answer — the ``POST /ask`` response body of the serving layer and the
+``--json`` output of the ``repro ask`` / ``repro chaos`` CLIs all
+emit exactly this dict, so the wire contract cannot fork per surface.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -34,6 +40,12 @@ class Answer:
     degraded: bool = False
     confidence: float = 1.0
     fault_events: list[FaultEvent] = field(default_factory=list)
+    #: sources restored by :meth:`from_dict` — a deserialized answer
+    #: has no live graph objects to rebuild ``support`` from, so the
+    #: serialized source summary rides along verbatim instead
+    restored_sources: dict[str, object] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def supporting_images(self) -> list[int]:
@@ -45,9 +57,116 @@ class Answer:
         }
         return sorted(images)
 
+    def sources(self) -> dict[str, object]:
+        """The JSON-ready evidence summary: distinct supporting image
+        ids plus the supporting triples (with per-edge image ids)."""
+        if not self.support and self.restored_sources is not None:
+            return dict(self.restored_sources)
+        return {
+            "images": self.supporting_images,
+            "support": [
+                {
+                    "subject": pair.subject.label,
+                    "predicate": pair.edge.label,
+                    "object": pair.object.label,
+                    "image_id": pair.edge.props.get("image_id"),
+                }
+                for pair in self.support
+            ],
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """The one stable JSON shape of an answer.
+
+        ``{"answer", "question_type", "sources", "meta"}`` — the
+        ``meta`` block carries ``latency`` (simulated seconds),
+        ``degraded``, ``confidence``, and the full ``fault_events``
+        provenance.  The serving layer's ``POST /ask`` body and the
+        ``repro ask --json`` / ``repro chaos --dump`` outputs are all
+        exactly this dict, so round-tripping through JSON and
+        :meth:`from_dict` is lossless at the contract level.
+        """
+        latency = None if self.latency is None \
+            else round(self.latency, 9)
+        return {
+            "answer": self.value,
+            "question_type": self.question_type.value,
+            "sources": self.sources(),
+            "meta": {
+                "latency": latency,
+                "degraded": self.degraded,
+                "confidence": round(self.confidence, 9),
+                "fault_events": [event.to_dict()
+                                 for event in self.fault_events],
+            },
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> Answer:
+        """Rebuild an answer from :meth:`to_dict`'s payload.
+
+        The supporting relation pairs cannot be re-attached to live
+        graph objects, so the serialized source summary is preserved
+        on :attr:`restored_sources` — ``from_dict(a.to_dict())``
+        serializes back to the identical dict.
+        """
+        meta = payload.get("meta") or {}
+        if not isinstance(meta, dict):
+            raise ValueError(f"malformed answer meta: {meta!r}")
+        sources = payload.get("sources")
+        latency = meta.get("latency")
+        if latency is not None and not isinstance(latency, (int, float)):
+            raise ValueError(f"malformed latency: {latency!r}")
+        confidence = meta.get("confidence", 1.0)
+        if not isinstance(confidence, (int, float)):
+            raise ValueError(f"malformed confidence: {confidence!r}")
+        events = meta.get("fault_events", [])
+        if not isinstance(events, list):
+            raise ValueError(f"malformed fault_events: {events!r}")
+        return cls(
+            question_type=QuestionType(payload["question_type"]),
+            value=str(payload["answer"]),
+            latency=None if latency is None else float(latency),
+            degraded=bool(meta.get("degraded", False)),
+            confidence=float(confidence),
+            fault_events=[FaultEvent.from_dict(event)
+                          for event in events],
+            restored_sources=dict(sources)
+            if isinstance(sources, dict) else None,
+        )
+
     def __str__(self) -> str:
         """The bare answer string."""
         return self.value
+
+
+def render_answer(answer: Answer, question: str | None = None) -> str:
+    """The shared human-readable rendering of one answer.
+
+    Every CLI that prints a single answer (``repro ask``,
+    ``repro trace``, ``repro chaos --dump`` summaries) goes through
+    this, so the text view and the :meth:`Answer.to_dict` wire view
+    cannot drift apart field-by-field.
+    """
+    lines = []
+    if question is not None:
+        lines.append(f"Q: {question}")
+    lines.append(f"A: {answer.value}")
+    sources = answer.sources()
+    images = sources.get("images") or []
+    if images:
+        lines.append(f"   evidence images: {list(images)}")
+    if answer.degraded:
+        lines.append(f"   degraded (confidence "
+                     f"{answer.confidence:.2f})")
+    for event in answer.fault_events:
+        lines.append(f"   {event.render()}")
+    return "\n".join(lines)
 
 
 def fallback_answer(

@@ -121,6 +121,7 @@ class BatchExecutor:
         graphs: list[QueryGraph | None],
         order: list[int] | None = None,
         trace_ids: list[str] | None = None,
+        deadlines: list[float | None] | None = None,
     ) -> BatchResult:
         """Execute the graphs; ``None`` entries answer ``"unknown"``.
 
@@ -130,9 +131,18 @@ class BatchExecutor:
         ``trace_ids`` names each slot's trace (defaults to
         ``q0000``-style input indices); each query records into its
         worker's private segment buffer, merged at segment close.
+        ``deadlines`` gives each slot its own simulated-seconds budget
+        (``None`` entries are unbounded): a deadline-killed slot stays
+        filled — and aligned — with the best partial (degraded) answer
+        instead of dropping out of the batch.
         """
         indices = list(order) if order is not None \
             else list(range(len(graphs)))
+        if deadlines is not None and len(deadlines) != len(graphs):
+            raise ValueError(
+                f"deadlines must align with graphs: "
+                f"{len(deadlines)} != {len(graphs)}"
+            )
         answers: list[Answer | None] = [None] * len(graphs)
         latencies = [0.0] * len(graphs)
         shards: list[SimClock] = []
@@ -159,10 +169,13 @@ class BatchExecutor:
                 local.executor = executor
             trace_id = trace_ids[index] if trace_ids is not None \
                 else f"q{index:04d}"
+            deadline_limit = deadlines[index] \
+                if deadlines is not None else None
             start = executor.clock.snapshot()
             with maybe_trace(self.tracer, trace_id, executor.clock):
                 try:
-                    answer = executor.execute(graph)
+                    answer = executor.execute(
+                        graph, deadline_limit=deadline_limit)
                 except ReproError as exc:
                     # fail soft per query, never hard per batch: the
                     # slot stays filled (and aligned) and the event

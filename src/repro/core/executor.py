@@ -39,7 +39,6 @@ if TYPE_CHECKING:
     from repro.analysis.query_validator import QueryGraphValidator
     from repro.graph.model import Edge
     from repro.resilience.manager import ResilienceManager
-    from repro.resilience.retry import DeadlineBudget
 
 from repro.errors import ExecutionError, QueryValidationError
 from repro.graph import Graph, RelationPair, Vertex, relations_between
@@ -49,6 +48,7 @@ from repro.nlp.morphology import noun_singular
 from repro.nlp.semlex import are_synonyms
 from repro.observability.spans import Tracer, maybe_span
 from repro.resilience.events import FaultEvent
+from repro.resilience.retry import DeadlineBudget
 from repro.simtime import SimClock
 from repro.core.aggregator import MergedGraph
 from repro.core.answer import Answer, fallback_answer, final_answer
@@ -192,7 +192,10 @@ class QueryGraphExecutor:
             )
         return report
 
-    def execute(self, query_graph: QueryGraph) -> Answer:
+    def execute(
+        self, query_graph: QueryGraph,
+        deadline_limit: float | None = None,
+    ) -> Answer:
         """Run one query graph and produce the final answer.
 
         When :attr:`ExecutorConfig.validation` is not ``"off"``, the
@@ -205,26 +208,40 @@ class QueryGraphExecutor:
         per-query deadline budget can cut execution off with the best
         partial answer, and every incident lands on the answer's
         ``fault_events``.
+
+        ``deadline_limit`` is a per-query budget override in simulated
+        seconds (the serving layer derives it from the ``Deadline-Ms``
+        request header); the effective budget is the tighter of this
+        and the configured :attr:`ResilienceConfig.query_deadline`.
         """
         with maybe_span(self.tracer, "executor.execute",
                         question=query_graph.question,
                         clauses=len(query_graph.vertices)) as span:
-            answer = self._execute_inner(query_graph)
+            answer = self._execute_inner(query_graph, deadline_limit)
             if span is not None:
                 span.set("answer", answer.value)
                 span.set("degraded", answer.degraded)
             return answer
 
-    def _execute_inner(self, query_graph: QueryGraph) -> Answer:
+    def _execute_inner(
+        self, query_graph: QueryGraph,
+        deadline_limit: float | None = None,
+    ) -> Answer:
         if self.config.validation != "off":
             self.validate(query_graph)
         if self.resilience is None:
-            return self._run_graph(query_graph, deadline=None)
+            deadline = None
+            if deadline_limit is not None and self.clock is not None:
+                deadline = DeadlineBudget.start(self.clock,
+                                                deadline_limit)
+            return self._run_graph(query_graph, deadline=deadline)
         events: list[FaultEvent] = []
         self._events = events
         try:
             answer = self._run_graph(
-                query_graph, deadline=self.resilience.deadline(self.clock)
+                query_graph,
+                deadline=self.resilience.deadline(self.clock,
+                                                  limit=deadline_limit),
             )
         finally:
             self._events = None
@@ -630,8 +647,17 @@ class QueryGraphExecutor:
         def compute() -> list[RelationPair]:
             if self.clock is not None:
                 self.clock.charge("path_probe")
-                scans = sum(self.graph.out_degree(v.id)
-                            for v in subjects)
+                # charge the edge mass of the branch actually taken:
+                # the subject branches scan subject out-edges, but the
+                # objects-only branch scans every object's *in*-edges
+                # (charging subject out-degrees there billed zero work
+                # while the scan still happened)
+                if subjects:
+                    scans = sum(self.graph.out_degree(v.id)
+                                for v in subjects)
+                else:
+                    scans = sum(self.graph.in_degree(v.id)
+                                for v in objects)
                 self.clock.charge("edge_scan", times=scans)
             if subjects and objects:
                 pairs = relations_between(self.graph, subjects, objects)

@@ -244,7 +244,9 @@ class SVQA:
             answer.degraded = True
             self._stats.record_degraded()
 
-    def answer(self, question: str) -> Answer:
+    def answer(
+        self, question: str, deadline: float | None = None
+    ) -> Answer:
         """Answer one complex question.
 
         With :attr:`SVQAConfig.resilience` configured this walks the
@@ -252,6 +254,11 @@ class SVQA:
         to a keyword-match query, executor crashes become attributed
         ``"unknown"`` answers, and every salvaged answer carries its
         :class:`~repro.resilience.events.FaultEvent` provenance.
+
+        ``deadline`` is a per-question budget in simulated seconds
+        (the serving layer maps the ``Deadline-Ms`` request header
+        here); execution past the budget is cut off with the best
+        partial, degraded answer.
         """
         executor = self._require_built()
         trace_id = self._next_trace_ids(1)[0]
@@ -259,7 +266,7 @@ class SVQA:
         with maybe_trace(self.tracer, trace_id, self.clock), \
                 maybe_span(self.tracer, "question",
                            question=question) as span:
-            answer = self._answer_inner(question, executor)
+            answer = self._answer_inner(question, executor, deadline)
             answer.latency = start.interval
             if span is not None:
                 span.set("answer", answer.value)
@@ -268,11 +275,12 @@ class SVQA:
         return answer
 
     def _answer_inner(
-        self, question: str, executor: QueryGraphExecutor
+        self, question: str, executor: QueryGraphExecutor,
+        deadline: float | None = None,
     ) -> Answer:
         if self.resilience is None:
             query_graph = self.parse_question(question)
-            return executor.execute(query_graph)
+            return executor.execute(query_graph, deadline_limit=deadline)
 
         from repro.resilience.degrade import classify_question_text
 
@@ -284,7 +292,8 @@ class SVQA:
             self._stats.record_degraded()
         else:
             try:
-                answer = executor.execute(query_graph)
+                answer = executor.execute(query_graph,
+                                          deadline_limit=deadline)
             except ReproError as exc:
                 events.append(FaultEvent(
                     "executor.execute", "error",
@@ -314,7 +323,10 @@ class SVQA:
         return answer
 
     def answer_many(
-        self, questions: list[str], workers: int | None = None
+        self,
+        questions: list[str],
+        workers: int | None = None,
+        deadlines: list[float | None] | None = None,
     ) -> list[Answer]:
         """Answer a batch with the §V-B multi-query optimizations.
 
@@ -327,9 +339,19 @@ class SVQA:
         shards fold back into this system's clock, so ``elapsed``
         keeps measuring total simulated work.  The makespan / measured
         wall-clock view of the same run is on :attr:`last_batch`.
+
+        ``deadlines`` optionally gives each question its own simulated
+        -seconds budget (the serving layer's per-request ``Deadline-Ms``
+        headers land here); deadline-killed slots stay aligned,
+        answering with the best partial, degraded answer.
         """
         workers = self.config.workers if workers is None else workers
         self._require_built()
+        if deadlines is not None and len(deadlines) != len(questions):
+            raise ValueError(
+                f"deadlines must align with questions: "
+                f"{len(deadlines)} != {len(questions)}"
+            )
         trace_ids = self._next_trace_ids(len(questions))
         graphs: list[QueryGraph | None] = []
         pre_events: list[list[FaultEvent]] = []
@@ -371,7 +393,8 @@ class SVQA:
             costs=self.clock.costs, stats=self._stats,
             resilience=self.resilience, tracer=self.tracer,
         )
-        result = batch.run(graphs, order=order, trace_ids=trace_ids)
+        result = batch.run(graphs, order=order, trace_ids=trace_ids,
+                           deadlines=deadlines)
         result.merge_into(self.clock)
         self._last_batch = result
         if self.resilience is not None:

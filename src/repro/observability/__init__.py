@@ -25,6 +25,7 @@ from repro.observability.metrics import (
     Histogram,
     LATENCY_BUCKETS,
     MetricsRegistry,
+    parse_prometheus,
 )
 from repro.observability.profiler import (
     BASELINE_SCHEMA_VERSION,
@@ -62,6 +63,7 @@ __all__ = [
     "dump_deterministic_json",
     "maybe_span",
     "maybe_trace",
+    "parse_prometheus",
     "render_trace",
     "span_multiset",
     "stage_breakdown",

@@ -49,6 +49,15 @@ COUNT_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16)
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
 
 def _format_value(value: float) -> str:
     """Render a sample value deterministically (integers stay integral)."""
@@ -286,6 +295,80 @@ class Histogram(MetricFamily):
                 for key, (counts, total, count) in self.series_items()
             ],
         }
+
+
+def _parse_label_text(text: str, line: str) -> dict[str, str]:
+    """Parse one sample line's ``name="value",...`` label body."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_PAIR_RE.match(text, pos)
+        if match is None:
+            raise ValueError(f"malformed label set in line: {line!r}")
+        raw = match.group("value")
+        labels[match.group("name")] = (
+            raw.replace("\\n", "\n").replace('\\"', '"')
+               .replace("\\\\", "\\")
+        )
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise ValueError(
+                    f"malformed label set in line: {line!r}"
+                )
+            pos += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse the Prometheus text exposition format back into data.
+
+    The validating inverse of :meth:`MetricsRegistry.to_prometheus`,
+    used by the serving smoke test to assert that ``GET /metrics``
+    actually speaks the exposition format.  Returns a dict keyed by
+    family name with ``{"type", "help", "samples"}`` entries, where
+    ``samples`` is a list of ``(sample_name, labels, value)`` tuples
+    (histogram ``_bucket``/``_sum``/``_count`` samples attach to
+    their declaring family).  Raises :class:`ValueError` on any line
+    that is neither a comment, blank, nor a well-formed sample.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family(name: str) -> dict[str, Any]:
+        return families.setdefault(
+            name, {"type": None, "help": None, "samples": []}
+        )
+
+    current: str | None = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_RE.match(parts[2]):
+                raise ValueError(f"malformed comment line: {line!r}")
+            key = "help" if parts[1] == "HELP" else "type"
+            family(parts[2])[key] = parts[3]
+            current = parts[2]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed sample value in line: {line!r}"
+            ) from exc
+        labels = _parse_label_text(match.group("labels") or "", line)
+        owner = current if current is not None and (
+            name == current or name.startswith(current + "_")
+        ) else name
+        family(owner)["samples"].append((name, labels, value))
+    return families
 
 
 class MetricsRegistry:

@@ -45,5 +45,25 @@ class FaultEvent:
         detail = f": {self.detail}" if self.detail else ""
         return f"[{self.site}] {self.kind}{suffix}{detail}"
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict with a stable key set (the wire format of
+        ``Answer.to_dict()['meta']['fault_events']``)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> FaultEvent:
+        """Rebuild an event from :meth:`to_dict`'s payload."""
+        return cls(
+            site=str(payload["site"]),
+            kind=str(payload["kind"]),
+            attempts=int(payload.get("attempts", 0)),  # type: ignore[arg-type]
+            detail=str(payload.get("detail", "")),
+        )
+
 
 __all__ = ["FaultEvent"]

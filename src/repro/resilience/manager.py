@@ -128,11 +128,31 @@ class ResilienceManager:
         """The named site's breaker state (for reports and tests)."""
         return self._breaker(site).state
 
-    def deadline(self, clock: SimClock | None) -> DeadlineBudget | None:
-        """A fresh per-query budget, or ``None`` when unconfigured."""
-        if clock is None or self.config.query_deadline is None:
+    def breaker_states(self) -> dict[str, str]:
+        """Every registered site's breaker state, sorted by site name.
+
+        Sites whose breaker was never consulted report ``closed`` —
+        the serving layer's ``/healthz`` endpoint needs the full map,
+        not just the breakers that happen to exist yet.
+        """
+        return {site: self._breaker(site).state
+                for site in sorted(FAULT_SITES)}
+
+    def deadline(
+        self, clock: SimClock | None, limit: float | None = None
+    ) -> DeadlineBudget | None:
+        """A fresh per-query budget, or ``None`` when unconfigured.
+
+        ``limit`` is a per-query override in simulated seconds (the
+        serving layer's ``Deadline-Ms`` header lands here); the
+        effective budget is the tighter of the override and the
+        configured :attr:`ResilienceConfig.query_deadline`.
+        """
+        limits = [value for value in (limit, self.config.query_deadline)
+                  if value is not None]
+        if clock is None or not limits:
             return None
-        return DeadlineBudget.start(clock, self.config.query_deadline)
+        return DeadlineBudget.start(clock, min(limits))
 
     # ------------------------------------------------------------------
     # the guard

@@ -1,0 +1,191 @@
+"""Admission control: per-client rate limiting + queue-depth shedding.
+
+The serving layer refuses work it cannot absorb *before* the work
+starts, with structured, attributable errors:
+
+* **token bucket per client** — each client id owns a bucket of
+  ``burst`` tokens refilled at ``rate`` tokens per *simulated* second
+  (the service clock is the SVQA system's
+  :class:`~repro.simtime.SimClock`, so admission behaviour is a pure
+  function of the request sequence and replays byte-identically);
+  an empty bucket answers **429** with a ``retry_after_s`` hint;
+* **load shedder** — above ``max_queue`` requests in flight the
+  service answers **503** unconditionally; between ``soft_queue`` and
+  ``max_queue`` it sheds *probabilistically*, with the probability
+  rising linearly toward 1.0.  The coin flip is a blake2b hash of
+  ``(seed, client, sequence)`` — the same discipline as the fault
+  injector — so shed-vs-served decisions are deterministic per seed
+  and reproducible across replays and thread interleavings.
+
+Every decision is an :class:`AdmissionDecision` carrying the HTTP
+status, machine-readable reason, and retry hint the contract layer
+serializes into the error body.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+def _unit_hash(seed: int, client: str, sequence: int) -> float:
+    """Deterministic uniform value in ``[0, 1)`` for one decision."""
+    payload = f"{seed}|{client}|{sequence}|shed".encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admit-or-refuse verdict, ready for serialization.
+
+    ``reason`` is the machine-readable outcome (``admitted``,
+    ``rate-limited``, ``shed``, ``overloaded``); ``retry_after_s`` is
+    the simulated seconds until the client's bucket accrues a token
+    (rate-limit refusals only).
+    """
+
+    admitted: bool
+    reason: str
+    status: int
+    retry_after_s: float | None = None
+
+
+class TokenBucket:
+    """A single client's bucket: ``burst`` capacity, ``rate``/sim-s.
+
+    Not thread-safe on its own — the owning
+    :class:`AdmissionController` serializes access under its lock.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated_at = now
+
+    def _refill(self, now: float) -> None:
+        if now > self.updated_at:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (now - self.updated_at) * self.rate,
+            )
+            self.updated_at = now
+
+    def try_take(self, now: float) -> tuple[bool, float]:
+        """``(granted, retry_after_s)`` for one request at ``now``."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Thread-safe admission state shared by every request thread.
+
+    ``clock`` is a zero-arg callable returning the current simulated
+    time (the serving layer passes ``lambda: svqa.clock.elapsed``);
+    because simulated time only advances when queries do work, two
+    identical request sequences against fresh servers see identical
+    bucket levels, depths, and hash coins — decision sequences are
+    byte-identical per seed.
+
+    Callers must pair every admitted request with exactly one
+    :meth:`release` (the request's ``finally`` block).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        rate: float = 10.0,
+        burst: int = 20,
+        max_queue: int = 64,
+        soft_queue: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        soft = max_queue * 3 // 4 if soft_queue is None else soft_queue
+        if not 0 <= soft <= max_queue:
+            raise ValueError(
+                f"soft_queue must be in [0, max_queue], got {soft}"
+            )
+        self.clock = clock
+        self.rate = rate
+        self.burst = burst
+        self.max_queue = max_queue
+        self.soft_queue = soft
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._sequences: dict[str, int] = {}
+        self._in_flight = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted and not yet released."""
+        with self._lock:
+            return self._in_flight
+
+    def _shed_probability(self, depth: int) -> float:
+        """Linear ramp from 0 at ``soft_queue`` to 1 at ``max_queue``."""
+        if depth < self.soft_queue:
+            return 0.0
+        if depth >= self.max_queue:
+            return 1.0
+        span = self.max_queue - self.soft_queue
+        return (depth - self.soft_queue + 1) / (span + 1)
+
+    def admit(self, client: str) -> AdmissionDecision:
+        """Decide one request; pairs with :meth:`release` if admitted.
+
+        Decision order matters and is part of the contract: the hard
+        queue bound is checked first (503), then the probabilistic
+        shed band (503), then the client's token bucket (429) — a
+        shed request must not consume a token the client could have
+        spent once the queue drains.
+        """
+        now = self.clock()
+        with self._lock:
+            sequence = self._sequences.get(client, 0)
+            self._sequences[client] = sequence + 1
+            depth = self._in_flight
+            if depth >= self.max_queue:
+                return AdmissionDecision(False, "overloaded", 503)
+            probability = self._shed_probability(depth)
+            if probability > 0.0 and \
+                    _unit_hash(self.seed, client, sequence) < probability:
+                return AdmissionDecision(False, "shed", 503)
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+            granted, retry_after = bucket.try_take(now)
+            if not granted:
+                return AdmissionDecision(
+                    False, "rate-limited", 429,
+                    retry_after_s=round(retry_after, 9),
+                )
+            self._in_flight += 1
+            return AdmissionDecision(True, "admitted", 200)
+
+    def release(self) -> None:
+        """One admitted request finished (success or failure)."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError(
+                    "release() without a matching admitted request"
+                )
+            self._in_flight -= 1
+
+
+__all__ = ["AdmissionController", "AdmissionDecision", "TokenBucket"]

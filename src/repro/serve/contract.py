@@ -1,0 +1,130 @@
+"""The wire contract of the QA service.
+
+Every byte the service emits is built here, from plain data, with
+deterministic JSON encoding (sorted keys, compact separators) — two
+same-seed request sequences against fresh servers must produce
+byte-identical payloads, so nothing in a response may depend on wall
+time, dict insertion order, or object identity.
+
+Shapes:
+
+* ``POST /ask`` success — :meth:`repro.core.answer.Answer.to_dict`
+  (``{"answer", "question_type", "sources", "meta"}``) with the
+  request's effective simulated-seconds deadline echoed into
+  ``meta.deadline_s``;
+* any refusal or failure —
+  ``{"error": {"status", "reason", "detail", "retry_after_s"}}``;
+* ``GET /healthz`` — service status, per-stage circuit-breaker state
+  map, index readiness, and admission gauges.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.answer import Answer
+
+#: request header carrying the per-request deadline in *simulated*
+#: milliseconds (WSGI environ key: ``HTTP_DEADLINE_MS``)
+DEADLINE_HEADER = "Deadline-Ms"
+
+
+def encode_json(payload: dict[str, object]) -> bytes:
+    """The one JSON encoding of the service: deterministic bytes."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8") + b"\n"
+
+
+def parse_deadline_ms(raw: str | None) -> float | None:
+    """``Deadline-Ms`` header value -> simulated seconds (or None).
+
+    The header is expressed in simulated milliseconds because the
+    pipeline's latencies are simulated; raises :class:`ValueError` on
+    non-numeric or non-positive values so the app can answer 400.
+    """
+    if raw is None or not raw.strip():
+        return None
+    try:
+        millis = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{DEADLINE_HEADER} must be a number, got {raw!r}"
+        ) from None
+    if millis <= 0:
+        raise ValueError(
+            f"{DEADLINE_HEADER} must be > 0, got {raw!r}"
+        )
+    return millis / 1000.0
+
+
+def ask_response(answer: Answer,
+                 deadline_s: float | None) -> dict[str, object]:
+    """The ``POST /ask`` success body for one answered question."""
+    payload = answer.to_dict()
+    meta = payload["meta"]
+    assert isinstance(meta, dict)
+    meta["deadline_s"] = None if deadline_s is None \
+        else round(deadline_s, 9)
+    return payload
+
+
+def error_body(
+    status: int,
+    reason: str,
+    detail: str = "",
+    retry_after_s: float | None = None,
+) -> dict[str, object]:
+    """The structured refusal/failure body (429/503/4xx/5xx alike)."""
+    return {
+        "error": {
+            "status": status,
+            "reason": reason,
+            "detail": detail,
+            "retry_after_s": retry_after_s,
+        }
+    }
+
+
+def healthz_payload(
+    breakers: dict[str, str],
+    index_ready: bool,
+    graph_epoch: int,
+    graph_vertices: int,
+    in_flight: int,
+    queued: int,
+    requests_total: int,
+) -> dict[str, object]:
+    """The ``GET /healthz`` body.
+
+    ``status`` is ``"ok"`` unless any circuit breaker has left the
+    ``closed`` state or the index is not ready — a tripped breaker
+    shows up here on the very next request, because the map is read
+    live from the ResilienceManager rather than cached.
+    """
+    degraded = any(state != "closed" for state in breakers.values())
+    status = "ok" if index_ready and not degraded else "degraded"
+    return {
+        "status": status,
+        "index": {
+            "ready": index_ready,
+            "graph_epoch": graph_epoch,
+            "graph_vertices": graph_vertices,
+        },
+        "breakers": dict(sorted(breakers.items())),
+        "admission": {
+            "in_flight": in_flight,
+            "queued": queued,
+            "requests_total": requests_total,
+        },
+    }
+
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "ask_response",
+    "encode_json",
+    "error_body",
+    "healthz_payload",
+    "parse_deadline_ms",
+]

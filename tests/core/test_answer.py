@@ -1,6 +1,7 @@
 """Unit tests for answer aggregation (getFinalanswer)."""
 
-from repro.core.answer import Answer, final_answer
+from repro.core.answer import Answer, final_answer, render_answer
+from repro.resilience.events import FaultEvent
 from repro.core.spoc import QuestionType, SPOC, Term
 from repro.graph import Graph, RelationPair
 
@@ -138,3 +139,94 @@ class TestAnswerObject:
 
     def test_supporting_images_empty(self):
         assert Answer(QuestionType.JUDGMENT, "no").supporting_images == []
+
+
+class TestSerialization:
+    """Satellite: the single stable to_dict()/JSON wire shape."""
+
+    def make_answer(self):
+        pairs = make_pairs([("dog", "carry", "cat", 3),
+                            ("dog", "carry", "cat", 5)])
+        return Answer(
+            QuestionType.COUNTING, "2", pairs, latency=0.125,
+            degraded=True, confidence=0.5,
+            fault_events=[FaultEvent("cache.scope", "retry",
+                                     attempts=2, detail="poked")],
+        )
+
+    def test_to_dict_shape(self):
+        payload = self.make_answer().to_dict()
+        assert sorted(payload) == ["answer", "meta", "question_type",
+                                   "sources"]
+        assert payload["answer"] == "2"
+        assert payload["question_type"] == "counting"
+        assert payload["sources"]["images"] == [3, 5]
+        assert payload["sources"]["support"][0] == {
+            "subject": "dog", "predicate": "carry",
+            "object": "cat", "image_id": 3,
+        }
+        meta = payload["meta"]
+        assert meta["latency"] == 0.125
+        assert meta["degraded"] is True
+        assert meta["confidence"] == 0.5
+        assert meta["fault_events"] == [{
+            "site": "cache.scope", "kind": "retry",
+            "attempts": 2, "detail": "poked",
+        }]
+
+    def test_round_trip_is_lossless(self):
+        original = self.make_answer()
+        restored = Answer.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.to_json() == original.to_json()
+        assert restored.question_type is QuestionType.COUNTING
+        assert restored.fault_events == original.fault_events
+
+    def test_round_trip_through_json_text(self):
+        import json
+
+        original = self.make_answer()
+        restored = Answer.from_dict(json.loads(original.to_json()))
+        assert restored.to_json() == original.to_json()
+
+    def test_round_trip_of_plain_answer(self):
+        original = Answer(QuestionType.JUDGMENT, "yes")
+        restored = Answer.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.latency is None
+        assert not restored.degraded
+
+    def test_to_json_is_deterministic_bytes(self):
+        first = self.make_answer().to_json()
+        second = self.make_answer().to_json()
+        assert first == second
+        assert first.index('"answer"') < first.index('"meta"')
+
+    def test_malformed_meta_rejected(self):
+        import pytest
+
+        payload = self.make_answer().to_dict()
+        payload["meta"] = "not-a-dict"
+        with pytest.raises(ValueError):
+            Answer.from_dict(payload)
+
+
+class TestRenderAnswer:
+    def test_render_shares_the_wire_fields(self):
+        pairs = make_pairs([("dog", "carry", "cat", 3)])
+        answer = Answer(
+            QuestionType.JUDGMENT, "yes", pairs, degraded=True,
+            confidence=0.5,
+            fault_events=[FaultEvent("cache.path", "recovered",
+                                     attempts=2)],
+        )
+        text = render_answer(answer, "Is the dog carrying a cat?")
+        assert "Q: Is the dog carrying a cat?" in text
+        assert "A: yes" in text
+        assert "evidence images: [3]" in text
+        assert "degraded (confidence 0.50)" in text
+        assert "[cache.path] recovered after 2 attempt(s)" in text
+
+    def test_render_without_question_or_evidence(self):
+        answer = Answer(QuestionType.REASONING, "unknown")
+        assert render_answer(answer) == "A: unknown"

@@ -141,3 +141,47 @@ class TestMVQAEquivalence:
         batch = parallel.last_batch
         assert batch.workers == 4
         assert batch.simulated_makespan <= batch.simulated_total
+
+
+class TestPerSlotDeadlines:
+    """Satellite: a mid-batch deadline kill must not shift slots."""
+
+    MULTI = ("What kind of animals is carried by the pets that are "
+             "standing on the grass?")
+
+    def run_batch(self, workers, deadlines):
+        questions = [
+            "Is there a fence near the grass?",
+            self.MULTI,
+            "How many dogs are standing on the grass?",
+        ]
+        graphs = [generate_query_graph(q) for q in questions]
+        return BatchExecutor(make_merged(), workers=workers).run(
+            graphs, deadlines=deadlines)
+
+    def test_mid_batch_kill_keeps_slots_aligned(self):
+        result = self.run_batch(workers=1, deadlines=[None, 1e-6, None])
+        assert len(result.answers) == 3
+        killed = result.answers[1]
+        assert killed.value == "unknown"
+        assert killed.degraded
+        # the neighbours are exactly what an unbudgeted run produces
+        free = self.run_batch(workers=1, deadlines=None)
+        assert result.answers[0].value == free.answers[0].value
+        assert result.answers[2].value == free.answers[2].value
+        assert not free.answers[1].degraded
+
+    def test_workers_1_and_4_agree_on_kills(self):
+        deadlines = [None, 1e-6, None]
+        serial = self.run_batch(workers=1, deadlines=deadlines)
+        parallel = self.run_batch(workers=4, deadlines=deadlines)
+        assert [a.value for a in serial.answers] == \
+            [a.value for a in parallel.answers]
+        assert [a.degraded for a in serial.answers] == \
+            [a.degraded for a in parallel.answers]
+
+    def test_deadline_list_must_match_batch_length(self):
+        graphs = parse_all()
+        with pytest.raises(ValueError):
+            BatchExecutor(make_merged(), workers=1).run(
+                graphs, deadlines=[None])

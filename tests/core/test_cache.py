@@ -379,3 +379,81 @@ class TestRetireStale:
     def test_disabled_cache_is_a_noop(self):
         cache = KeyCentricCache.disabled()
         assert cache.retire_stale(3) == 0
+
+
+class TestRetireStaleUnderContention:
+    """Satellite: retire_stale racing mixed-epoch concurrent writers."""
+
+    THREADS = 8
+
+    def test_interleaved_mixed_epoch_writes(self):
+        cache = KeyCentricCache.create(pool_size=64)
+        stop = threading.Event()
+        errors = []
+
+        def writer(thread_index):
+            try:
+                for epoch in range(1, 200):
+                    for slot in range(4):
+                        key = ("scope", epoch % 3,
+                               f"w{thread_index}-{slot}")
+                        value, _ = cache.scope_get_or_compute(
+                            key, lambda k=key: [k])
+                        # a hit must return the value computed for
+                        # exactly this key, never a retired ghost
+                        assert value == [key]
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def retirer():
+            try:
+                while not stop.is_set():
+                    for epoch in (1, 2, 3):
+                        cache.retire_stale(epoch)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(self.THREADS - 2)]
+        retirers = [threading.Thread(target=retirer) for _ in range(2)]
+        for thread in writers + retirers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in retirers:
+            thread.join()
+        assert not errors
+
+    def test_retire_concurrent_with_writes_drops_only_stale(self):
+        cache = KeyCentricCache.create(pool_size=64)
+        barrier = threading.Barrier(2)
+
+        def write_fresh():
+            barrier.wait()
+            for i in range(200):
+                cache.put_scope(("scope", 5, f"fresh-{i}"), [i])
+
+        def retire_old():
+            barrier.wait()
+            for _ in range(50):
+                cache.retire_stale(5)
+
+        writers = threading.Thread(target=write_fresh)
+        retirers = threading.Thread(target=retire_old)
+        for key in range(30):
+            cache.put_scope(("scope", 4, f"old-{key}"), [key])
+        writers.start()
+        retirers.start()
+        writers.join()
+        retirers.join()
+        cache.retire_stale(5)  # settle: everything stale must be gone
+        for key in range(30):
+            assert cache.get_scope(("scope", 4, f"old-{key}")) is None
+        survivors = sum(
+            1 for i in range(200)
+            if cache.get_scope(("scope", 5, f"fresh-{i}")) is not None
+        )
+        # epoch-5 writes are never collateral damage of retiring < 5
+        # (pool eviction may drop some, but retire_stale must not)
+        assert survivors > 0

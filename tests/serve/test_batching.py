@@ -1,0 +1,115 @@
+"""The micro-batching bridge: alignment, coalescing, failure paths."""
+
+import threading
+
+import pytest
+
+from repro.core.answer import Answer
+from repro.core.spoc import QuestionType
+from repro.serve.batching import BatchingBridge
+
+
+class StubSVQA:
+    """Stands in for the pipeline: echoes each question into its slot."""
+
+    def __init__(self, fail_on=None):
+        self.fail_on = fail_on or set()
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def answer_many(self, questions, workers=None, deadlines=None):
+        with self._lock:
+            self.calls.append((tuple(questions), tuple(deadlines)))
+        if any(q in self.fail_on for q in questions):
+            raise RuntimeError("batch exploded")
+        return [
+            Answer(QuestionType.REASONING,
+                   f"echo:{question}|deadline:{deadline}")
+            for question, deadline in
+            zip(questions, deadlines, strict=True)
+        ]
+
+
+class TestInlineMode:
+    def test_inline_answers_synchronously(self):
+        svqa = StubSVQA()
+        bridge = BatchingBridge(svqa, max_wait=0.0)
+        assert bridge.inline
+        answer = bridge.submit("q1", deadline=0.5)
+        assert answer.value == "echo:q1|deadline:0.5"
+        assert svqa.calls == [(("q1",), (0.5,))]
+
+    def test_inline_closed_bridge_refuses(self):
+        bridge = BatchingBridge(StubSVQA(), max_wait=0.0)
+        bridge.close()
+        with pytest.raises(RuntimeError):
+            bridge.submit("q")
+
+    def test_on_batch_observes_sizes(self):
+        sizes = []
+        bridge = BatchingBridge(StubSVQA(), max_wait=0.0,
+                                on_batch=sizes.append)
+        bridge.submit("a")
+        bridge.submit("b")
+        assert sizes == [1, 1]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BatchingBridge(StubSVQA(), max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingBridge(StubSVQA(), max_wait=-1.0)
+
+
+class TestThreadedMode:
+    def submit_all(self, bridge, questions):
+        answers = {}
+        errors = {}
+
+        def run(question, deadline):
+            try:
+                answers[question] = bridge.submit(question, deadline)
+            except Exception as exc:  # noqa: BLE001
+                errors[question] = exc
+
+        threads = [
+            threading.Thread(target=run, args=(q, i / 10))
+            for i, q in enumerate(questions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return answers, errors
+
+    def test_concurrent_submitters_get_their_own_slots(self):
+        svqa = StubSVQA()
+        bridge = BatchingBridge(svqa, max_batch=4, max_wait=0.05)
+        questions = [f"q{i}" for i in range(10)]
+        answers, errors = self.submit_all(bridge, questions)
+        bridge.close()
+        assert not errors
+        # every submitter got the answer for *its* question and its
+        # own deadline, regardless of how the batches formed
+        for i, question in enumerate(questions):
+            assert answers[question].value == \
+                f"echo:{question}|deadline:{i / 10}"
+        assert all(len(call[0]) <= 4 for call in svqa.calls)
+        assert sum(len(call[0]) for call in svqa.calls) == 10
+
+    def test_batch_failure_propagates_to_every_member(self):
+        svqa = StubSVQA(fail_on={"boom"})
+        bridge = BatchingBridge(svqa, max_batch=2, max_wait=0.02)
+        answers, errors = self.submit_all(bridge, ["boom"])
+        bridge.close()
+        assert not answers
+        assert isinstance(errors["boom"], RuntimeError)
+
+    def test_close_drains_queued_work(self):
+        bridge = BatchingBridge(StubSVQA(), max_batch=8, max_wait=0.02)
+        answers, errors = self.submit_all(
+            bridge, [f"q{i}" for i in range(5)])
+        bridge.close()
+        assert not errors
+        assert len(answers) == 5
+        # a second close is a harmless no-op
+        bridge.close()

@@ -119,3 +119,22 @@ class TestArgumentErrors:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--rate", "-1"],
+        ["serve", "--rate", "0"],
+        ["serve", "--burst", "0"],
+        ["serve", "--max-queue", "0"],
+        ["serve", "--max-batch", "0"],
+        ["serve", "--batch-wait", "-0.5"],
+        ["serve", "--deadline-ms", "0"],
+        ["serve", "--workers", "banana"],
+        ["serve", "--chaos", "1.5"],
+    ])
+    def test_serve_rejects_bad_arguments(self, argv, capsys):
+        # bad serve flags must exit 2 at argparse time, never boot
+        # the server with a config the admission layer would reject
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
