@@ -1,7 +1,7 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
-.PHONY: test lint lint-analysis docs-check profile bench chaos \
-	serve serve-smoke
+.PHONY: test lint lint-analysis sanitize docs-check profile bench \
+	chaos serve serve-smoke
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -14,8 +14,9 @@ lint:
 	fi
 
 # the in-repo static-analysis gates: the repo-invariant linter
-# (RP001-RP006), the query-graph validator sweep over MVQA, and mypy
-# (when installed — CI always runs it)
+# (RP001-RP011, including the cross-module lock-order rules), the
+# query-graph validator sweep over MVQA, and mypy (when installed —
+# CI always runs it)
 lint-analysis:
 	PYTHONPATH=src python -m repro lint-code
 	PYTHONPATH=src python -m repro lint-queries --fast
@@ -24,6 +25,11 @@ lint-analysis:
 	else \
 		echo "mypy not installed — skipping type check (CI runs it)"; \
 	fi
+
+# deterministic runtime lock/race sanitizer sweep: run the pipeline
+# with every lock instrumented and fail on any inversion or race
+sanitize:
+	PYTHONPATH=src python -m repro sanitize
 
 # docstring coverage gate on the documented packages (ruff pydocstyle
 # D rules, scoped — the rest of the tree is exempt)

@@ -24,6 +24,14 @@ from repro.analysis.code_rules import (
     SeededRngRule,
     WallClockRule,
 )
+from repro.analysis.concurrency.lockgraph import LockOrderAnalysis
+from repro.analysis.concurrency.rules import (
+    BlockingUnderLockRule,
+    DispatchUnderLockRule,
+    LockOrderInversionRule,
+    LockPublicationRule,
+    ProjectRule,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticReport,
@@ -40,9 +48,13 @@ class RuleBinding:
     with one of the given suffixes (``None`` = every file); ``allow``
     exempts matching files — the mechanism for deliberate, documented
     exceptions to an invariant.
+
+    For a :class:`~repro.analysis.concurrency.rules.ProjectRule` the
+    scope applies to where findings *land* (the diagnostic's file),
+    not to what the underlying whole-tree analysis may inspect.
     """
 
-    rule: CodeRule
+    rule: CodeRule | ProjectRule
     paths: tuple[str, ...] | None = None
     allow: tuple[str, ...] = ()
 
@@ -103,6 +115,53 @@ def default_bindings() -> tuple[RuleBinding, ...]:
     )
 
 
+#: the lock-owning modules governed by the RP008–RP011 project rules
+LOCK_MODULES: tuple[str, ...] = (
+    "repro/core/batch.py",
+    "repro/core/cache.py",
+    "repro/core/stats.py",
+    "repro/serve/app.py",
+    "repro/serve/admission.py",
+    "repro/serve/batching.py",
+    "repro/resilience/manager.py",
+    "repro/resilience/breaker.py",
+    "repro/observability/spans.py",
+    "repro/observability/metrics.py",
+    "repro/analysis/code_rules.py",
+)
+
+
+def default_project_bindings() -> tuple[RuleBinding, ...]:
+    """The repo's whole-tree concurrency invariant configuration.
+
+    RP008–RP011 findings may land only in the lock-owning modules
+    (:data:`LOCK_MODULES`), though the underlying lock-order analysis
+    always sees every linted file.  Triage record for the allowlists
+    (every suppression here is an intentional, reviewed ordering):
+
+    * ``core/cache.py`` (RP010) — ``drop_where`` runs its predicate
+      under the store lock by documented contract: predicates are
+      pure key tests (epoch retirement), and evaluating them outside
+      the lock would race concurrent inserts into the same scan.
+    * ``serve/batching.py`` (RP010) — ``BatchingBridge.submit``'s
+      inline fallback calls ``answer_many`` while holding the bridge
+      lock *by design*: the bridge lock is the serialization point
+      for the non-reentrant pipeline, and the collector loop takes
+      the same lock before dispatching, so the order is global and
+      acyclic (bridge -> core locks, never the reverse).
+    """
+    return (
+        RuleBinding(LockOrderInversionRule(), paths=LOCK_MODULES),
+        RuleBinding(BlockingUnderLockRule(), paths=LOCK_MODULES),
+        RuleBinding(
+            DispatchUnderLockRule(),
+            paths=LOCK_MODULES,
+            allow=("repro/core/cache.py", "repro/serve/batching.py"),
+        ),
+        RuleBinding(LockPublicationRule(), paths=LOCK_MODULES),
+    )
+
+
 def collect_python_files(roots: Iterable[Path]) -> list[Path]:
     """Every ``*.py`` under the roots, sorted, skipping caches."""
     files: set[Path] = set()
@@ -136,7 +195,7 @@ def lint_source(
         ))
         return report
     for binding in bindings:
-        if binding.applies_to(path):
+        if isinstance(binding.rule, CodeRule) and binding.applies_to(path):
             report.extend(binding.rule.check(tree, path))
     return report
 
@@ -144,21 +203,56 @@ def lint_source(
 def lint_paths(
     roots: Iterable[Path],
     bindings: Sequence[RuleBinding] | None = None,
+    project_bindings: Sequence[RuleBinding] | None = None,
 ) -> DiagnosticReport:
-    """Lint every Python file under the roots."""
+    """Lint every Python file under the roots.
+
+    Per-file rules run module by module; the RP008–RP011 project
+    rules then run once over a :class:`LockOrderAnalysis` built from
+    every file that parsed, so cross-module lock orders are visible
+    even when only a few modules may receive findings.
+    """
     if bindings is None:
         bindings = default_bindings()
+    if project_bindings is None:
+        project_bindings = default_project_bindings()
     report = DiagnosticReport()
+    trees: dict[str, ast.Module] = {}
     for path in collect_python_files(roots):
+        name = str(path)
         try:
             source = path.read_text(encoding="utf-8")
         except OSError as exc:
             report.add(Diagnostic(
-                "RP000", Severity.ERROR, Location(file=str(path)),
+                "RP000", Severity.ERROR, Location(file=name),
                 f"file is unreadable: {exc}",
             ))
             continue
-        report.extend(lint_source(source, str(path), bindings))
+        try:
+            tree = ast.parse(source, filename=name)
+        except SyntaxError as exc:
+            report.add(Diagnostic(
+                "RP000", Severity.ERROR,
+                Location(file=name, line=exc.lineno, column=exc.offset),
+                f"file does not parse: {exc.msg}",
+            ))
+            continue
+        trees[name] = tree
+        for binding in bindings:
+            if isinstance(binding.rule, CodeRule) \
+                    and binding.applies_to(name):
+                report.extend(binding.rule.check(tree, name))
+    if trees and project_bindings:
+        analysis = LockOrderAnalysis(trees)
+        for binding in project_bindings:
+            if not isinstance(binding.rule, ProjectRule):
+                continue
+            report.extend([
+                diagnostic
+                for diagnostic in binding.rule.check_project(analysis)
+                if diagnostic.location.file is not None
+                and binding.applies_to(diagnostic.location.file)
+            ])
     return report.sorted()
 
 
@@ -170,9 +264,11 @@ def default_source_root() -> Path:
 
 
 __all__ = [
+    "LOCK_MODULES",
     "RuleBinding",
     "collect_python_files",
     "default_bindings",
+    "default_project_bindings",
     "default_source_root",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,50 @@
+"""Concurrency correctness tooling: static lock-order analysis
+(RP008–RP011 project rules over a whole-tree lock acquisition graph)
+plus the deterministic runtime lock/race sanitizer installed through
+the :mod:`repro.locks` hook seam."""
+
+from repro.analysis.concurrency.lockgraph import (
+    Acquisition,
+    BlockingCall,
+    LockId,
+    LockOrderAnalysis,
+    OrderEdge,
+    Publication,
+    extract_module,
+)
+from repro.analysis.concurrency.rules import (
+    ALL_PROJECT_RULES,
+    BlockingUnderLockRule,
+    DispatchUnderLockRule,
+    LockOrderInversionRule,
+    LockPublicationRule,
+    ProjectRule,
+)
+from repro.analysis.concurrency.sanitizer import (
+    SanitizedLock,
+    Sanitizer,
+    SanitizerConfig,
+    SanitizerFinding,
+    SanitizerReport,
+)
+
+__all__ = [
+    "ALL_PROJECT_RULES",
+    "Acquisition",
+    "BlockingCall",
+    "BlockingUnderLockRule",
+    "DispatchUnderLockRule",
+    "LockId",
+    "LockOrderAnalysis",
+    "LockOrderInversionRule",
+    "LockPublicationRule",
+    "OrderEdge",
+    "ProjectRule",
+    "Publication",
+    "SanitizedLock",
+    "Sanitizer",
+    "SanitizerConfig",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "extract_module",
+]

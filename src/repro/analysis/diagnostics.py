@@ -12,9 +12,11 @@ layers.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from enum import IntEnum
+from typing import Any
 
 
 class Severity(IntEnum):
@@ -59,6 +61,27 @@ class Location:
             parts.append(f"edge v{self.edge[0]}->v{self.edge[1]}")
         return " ".join(parts) if parts else "<graph>"
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict; key order is part of the contract."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "vertex": self.vertex,
+            "edge": list(self.edge) if self.edge is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Location:
+        edge = data.get("edge")
+        return cls(
+            file=data.get("file"),
+            line=data.get("line"),
+            column=data.get("column"),
+            vertex=data.get("vertex"),
+            edge=(edge[0], edge[1]) if edge is not None else None,
+        )
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -90,6 +113,26 @@ class Diagnostic:
         if self.hint:
             text += f" (hint: {self.hint})"
         return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict; key order is part of the contract."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "location": self.location.to_dict(),
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Diagnostic:
+        return cls(
+            rule_id=data["rule_id"],
+            severity=Severity[data["severity"]],
+            location=Location.from_dict(data["location"]),
+            message=data["message"],
+            hint=data.get("hint", ""),
+        )
 
 
 @dataclass
@@ -150,6 +193,30 @@ class DiagnosticReport:
             f"{self.count(Severity.WARNING)} warning(s), "
             f"{self.count(Severity.INFO)} note(s)"
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form for CI annotation.
+
+        Key order is fixed (counts first, then the diagnostics in
+        report order) so serialized reports diff cleanly.
+        """
+        return {
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "notes": self.count(Severity.INFO),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> DiagnosticReport:
+        return cls([
+            Diagnostic.from_dict(entry)
+            for entry in data.get("diagnostics", [])
+        ])
 
     def __len__(self) -> int:
         return len(self.diagnostics)

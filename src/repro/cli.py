@@ -466,6 +466,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_lint_queries(args: argparse.Namespace) -> int:
     from repro.analysis import Severity, validate_query_graph
+    from repro.analysis.diagnostics import (
+        Diagnostic,
+        DiagnosticReport,
+        Location,
+    )
     from repro.errors import QueryParseError
 
     if args.question:
@@ -479,6 +484,7 @@ def _cmd_lint_queries(args: argparse.Namespace) -> int:
             dataset = build_mvqa()
         questions = [q.text for q in dataset.questions]
 
+    combined = DiagnosticReport()
     errors = warnings = parse_failures = clean = 0
     for question in questions:
         try:
@@ -487,6 +493,13 @@ def _cmd_lint_queries(args: argparse.Namespace) -> int:
             # expected Fig. 8(a)/Fig. 9 behaviour: out-of-grammar
             # questions are rejected at parse time, attributably
             parse_failures += 1
+            combined.add(Diagnostic(
+                "QG000", Severity.INFO,
+                Location(vertex=exc.clause_index),
+                f"parse rejected: {question} ({exc})",
+            ))
+            if args.json:
+                continue
             where = ""
             if exc.clause_index is not None:
                 where += f" clause {exc.clause_index}"
@@ -496,19 +509,25 @@ def _cmd_lint_queries(args: argparse.Namespace) -> int:
             print(f"  {exc}")
             continue
         report = validate_query_graph(graph)
+        combined.extend(report)
         errors += report.count(Severity.ERROR)
         warnings += report.count(Severity.WARNING)
         if len(report) == 0:
             clean += 1
             continue
+        if args.json:
+            continue
         print(f"Q: {question}")
         for diagnostic in report:
             print(f"  {diagnostic.render()}")
-    print(
-        f"{len(questions)} question(s): {clean} clean, "
-        f"{warnings} warning(s), {errors} error(s), "
-        f"{parse_failures} parse rejection(s)"
-    )
+    if args.json:
+        print(combined.to_json())
+    else:
+        print(
+            f"{len(questions)} question(s): {clean} clean, "
+            f"{warnings} warning(s), {errors} error(s), "
+            f"{parse_failures} parse rejection(s)"
+        )
     if errors:
         return 1
     return 1 if parse_failures and args.strict_parse else 0
@@ -522,10 +541,54 @@ def _cmd_lint_code(args: argparse.Namespace) -> int:
     roots = [Path(p) for p in args.paths] if args.paths \
         else [default_source_root()]
     report = lint_paths(roots)
+    if args.json:
+        print(report.to_json())
+        return 1 if report.has_errors else 0
     for diagnostic in report:
         print(diagnostic.render())
     print(report.summary())
     return 1 if report.has_errors else 0
+
+
+#: the fixed `repro sanitize` question battery: every query shape the
+#: executor exercises, repeated so single-flight leaders and waiters,
+#: cache hits, and scheduler reordering all occur under the sanitizer
+_SANITIZE_QUESTIONS: tuple[str, ...] = (
+    "Is there a dog near the fence?",
+    "What is on the table?",
+    "Is there a person holding a cup?",
+    "How many chairs are near the table?",
+    "What is the man wearing?",
+    "Is there a cat under the chair?",
+)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.concurrency.sanitizer import SanitizerConfig
+    from repro.dataset.kg import build_commonsense_kg
+    from repro.synth import SceneGenerator
+
+    scenes = SceneGenerator(seed=args.seed).generate_pool(args.scenes)
+    config = SVQAConfig(
+        workers=args.workers,
+        sanitizer=SanitizerConfig(seed=args.seed),
+    )
+    svqa = SVQA(scenes, build_commonsense_kg(), config)
+    questions = list(_SANITIZE_QUESTIONS) * args.repeat
+    try:
+        svqa.build()
+        svqa.answer_many(questions)
+        assert svqa.sanitizer is not None
+        report = svqa.sanitizer.report()
+    finally:
+        svqa.release_sanitizer()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 1 if report.findings else 0
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
@@ -695,17 +758,45 @@ def main(argv: list[str] | None = None) -> int:
                               help="treat parse rejections (the "
                                    "expected Fig. 8(a) failures) as "
                                    "lint errors")
+    lint_queries.add_argument("--json", action="store_true",
+                              help="emit the findings as JSON "
+                                   "(stable key order, for CI "
+                                   "annotation)")
     lint_queries.set_defaults(handler=_cmd_lint_queries)
 
     lint_code = commands.add_parser(
         "lint-code",
-        help="run the repo-invariant linter (RP001-RP007) over the "
+        help="run the repo-invariant linter (RP001-RP011) over the "
              "source tree",
     )
     lint_code.add_argument("paths", nargs="*", default=None,
                            help="files or directories to lint "
                                 "(default: the repro package)")
+    lint_code.add_argument("--json", action="store_true",
+                           help="emit the findings as JSON (stable "
+                                "key order, for CI annotation)")
     lint_code.set_defaults(handler=_cmd_lint_code)
+
+    sanitize = commands.add_parser(
+        "sanitize",
+        help="run the stress workload under the runtime lock/race "
+             "sanitizer and print a deterministic findings report",
+    )
+    sanitize.add_argument("--seed", type=int, default=7,
+                          help="workload seed (also labels the "
+                               "report; default 7)")
+    sanitize.add_argument("--workers", type=int, default=2,
+                          help="worker threads for the batch run "
+                               "(default 2)")
+    sanitize.add_argument("--scenes", type=int, default=6,
+                          help="synthetic scenes in the pool "
+                               "(default 6)")
+    sanitize.add_argument("--repeat", type=int, default=2,
+                          help="times the question battery is "
+                               "repeated (default 2)")
+    sanitize.add_argument("--json", action="store_true",
+                          help="emit the report as JSON")
+    sanitize.set_defaults(handler=_cmd_sanitize)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -39,6 +39,7 @@ from repro.core.executor import ExecutorConfig, QueryGraphExecutor
 from repro.core.spoc import QueryGraph, QuestionType
 from repro.core.stats import ExecutorStats
 from repro.errors import ReproError
+from repro.locks import note_fork, note_join, note_write, wrap_lock
 from repro.observability.spans import Tracer, maybe_trace
 from repro.resilience.events import FaultEvent
 from repro.simtime import SimClock
@@ -146,7 +147,7 @@ class BatchExecutor:
         answers: list[Answer | None] = [None] * len(graphs)
         latencies = [0.0] * len(graphs)
         shards: list[SimClock] = []
-        shard_lock = threading.Lock()
+        shard_lock = wrap_lock(threading.Lock(), "batch.shards")
         local = threading.local()
 
         def run_one(index: int) -> None:
@@ -159,6 +160,7 @@ class BatchExecutor:
             if executor is None:
                 clock = self._new_shard()
                 with shard_lock:
+                    note_write("batch.shards")
                     shards.append(clock)
                 executor = QueryGraphExecutor(
                     self.merged, cache=self.cache, clock=clock,
@@ -191,6 +193,9 @@ class BatchExecutor:
                     self.stats.record_degraded()
             answer.latency = start.interval
             self.stats.record_latency(answer.latency)
+            # each slot has exactly one writer; the parent reads only
+            # after the pool joins (fork/join happens-before edges)
+            note_write("batch.answers", index)
             answers[index] = answer
             latencies[index] = answer.latency
 
@@ -199,10 +204,12 @@ class BatchExecutor:
             for index in indices:
                 run_one(index)
         else:
+            note_fork()
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 futures = [pool.submit(run_one, i) for i in indices]
                 for future in futures:
                     future.result()
+            note_join()
         wall_clock = time.perf_counter() - wall_start
 
         shard_elapsed = [clock.elapsed for clock in shards]

@@ -32,21 +32,27 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Hashable
 from typing import Any
 
+from repro.locks import note_read, note_write, wrap_lock
+
 
 class EvictingCache:
     """Interface: a bounded key-value store with an eviction policy.
 
     Subclasses must guard every operation with ``self._lock`` so one
-    store can be shared by a pool of worker threads.
+    store can be shared by a pool of worker threads.  ``name`` is the
+    store's sanitizer role (``cache.scope`` / ``cache.path``); locks
+    are created through :func:`repro.locks.wrap_lock`, so with no
+    sanitizer installed this is the raw ``RLock``.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, name: str = "store") -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self.name = name
         self.hits = 0
         self.misses = 0
-        self._lock = threading.RLock()
+        self._lock = wrap_lock(threading.RLock(), f"cache.{name}")
 
     def get(self, key: Hashable) -> Any | None:
         """Return the cached value, or ``None`` on a miss."""
@@ -66,19 +72,25 @@ class EvictingCache:
         """Number of entries currently stored."""
         raise NotImplementedError
 
+    def counters(self) -> tuple[int, int]:
+        """``(hits, misses)`` read atomically under the store lock."""
+        with self._lock:
+            return self.hits, self.misses
+
     @property
     def hit_rate(self) -> float:
         """Hits over total lookups (0.0 before any lookup)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits, misses = self.counters()
+        total = hits + misses
+        return hits / total if total else 0.0
 
 
 class LFUCache(EvictingCache):
     """Least-Frequently-Used eviction; ties broken by recency (older
     first), which is the classic LFU-with-aging behaviour."""
 
-    def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
+    def __init__(self, capacity: int, *, name: str = "store") -> None:
+        super().__init__(capacity, name=name)
         self._values: dict[Hashable, Any] = {}
         self._frequency: dict[Hashable, int] = {}
         self._clock = 0
@@ -87,6 +99,7 @@ class LFUCache(EvictingCache):
     def get(self, key: Hashable) -> Any | None:
         """Look up ``key``, bumping its frequency on a hit."""
         with self._lock:
+            note_read(f"cache.{self.name}", key)
             if key not in self._values:
                 self.misses += 1
                 return None
@@ -99,6 +112,7 @@ class LFUCache(EvictingCache):
         if self.capacity == 0:
             return
         with self._lock:
+            note_write(f"cache.{self.name}", key)
             if key not in self._values and \
                     len(self._values) >= self.capacity:
                 self._evict()
@@ -122,6 +136,7 @@ class LFUCache(EvictingCache):
     def drop_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Remove every entry whose key satisfies ``predicate``."""
         with self._lock:
+            note_write(f"cache.{self.name}")
             victims = [k for k in self._values if predicate(k)]
             for key in victims:
                 del self._values[key]
@@ -138,13 +153,14 @@ class LFUCache(EvictingCache):
 class LRUCache(EvictingCache):
     """Least-Recently-Used eviction."""
 
-    def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
+    def __init__(self, capacity: int, *, name: str = "store") -> None:
+        super().__init__(capacity, name=name)
         self._values: OrderedDict[Hashable, Any] = OrderedDict()
 
     def get(self, key: Hashable) -> Any | None:
         """Look up ``key``, marking it most recently used on a hit."""
         with self._lock:
+            note_read(f"cache.{self.name}", key)
             if key not in self._values:
                 self.misses += 1
                 return None
@@ -157,6 +173,7 @@ class LRUCache(EvictingCache):
         if self.capacity == 0:
             return
         with self._lock:
+            note_write(f"cache.{self.name}", key)
             if key in self._values:
                 self._values.move_to_end(key)
             elif len(self._values) >= self.capacity:
@@ -166,6 +183,7 @@ class LRUCache(EvictingCache):
     def drop_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Remove every entry whose key satisfies ``predicate``."""
         with self._lock:
+            note_write(f"cache.{self.name}")
             victims = [k for k in self._values if predicate(k)]
             for key in victims:
                 del self._values[key]
@@ -177,12 +195,13 @@ class LRUCache(EvictingCache):
             return len(self._values)
 
 
-def make_cache(policy: str, capacity: int) -> EvictingCache:
+def make_cache(policy: str, capacity: int, *,
+               name: str = "store") -> EvictingCache:
     """Factory: ``"lfu"`` or ``"lru"``."""
     if policy == "lfu":
-        return LFUCache(capacity)
+        return LFUCache(capacity, name=name)
     if policy == "lru":
-        return LRUCache(capacity)
+        return LRUCache(capacity, name=name)
     raise ValueError(f"unknown cache policy: {policy!r}")
 
 
@@ -218,8 +237,10 @@ class KeyCentricCache:
     _inflight: dict[Hashable, _InFlight] = field(
         default_factory=dict, init=False, repr=False
     )
-    _inflight_lock: threading.Lock = field(
-        default_factory=threading.Lock, init=False, repr=False
+    _inflight_lock: Any = field(
+        default_factory=lambda: wrap_lock(threading.Lock(),
+                                          "cache.inflight"),
+        init=False, repr=False,
     )
 
     @classmethod
@@ -232,8 +253,8 @@ class KeyCentricCache:
     ) -> KeyCentricCache:
         """Build scope and path stores of ``pool_size`` entries each."""
         return cls(
-            scope=make_cache(policy, pool_size),
-            path=make_cache(policy, pool_size),
+            scope=make_cache(policy, pool_size, name="scope"),
+            path=make_cache(policy, pool_size, name="path"),
             enabled_scope=enabled_scope,
             enabled_path=enabled_path,
         )
@@ -298,6 +319,7 @@ class KeyCentricCache:
         # single-flight: scope and path keys share the in-flight table
         # without colliding because every key is prefix-tagged
         with self._inflight_lock:
+            note_write("cache.inflight", key)
             entry = self._inflight.get(key)
             leader = entry is None
             if leader:
@@ -314,6 +336,7 @@ class KeyCentricCache:
             finally:
                 entry.done.set()
                 with self._inflight_lock:
+                    note_write("cache.inflight", key)
                     self._inflight.pop(key, None)
             return value, False
         entry.done.wait()
@@ -364,5 +387,6 @@ class CacheReport:
     @classmethod
     def from_cache(cls, cache: KeyCentricCache) -> CacheReport:
         """Snapshot the hit/miss counters of both stores."""
-        return cls(cache.scope.hits, cache.scope.misses,
-                   cache.path.hits, cache.path.misses)
+        scope_hits, scope_misses = cache.scope.counters()
+        path_hits, path_misses = cache.path.counters()
+        return cls(scope_hits, scope_misses, path_hits, path_misses)

@@ -18,6 +18,7 @@ latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import QueryError, ReproError
 from repro.graph import Graph
@@ -46,6 +47,12 @@ from repro.core.scheduler import schedule_queries
 from repro.core.spoc import QueryGraph
 from repro.core.stats import ExecutorStats, ExecutorStatsReport
 
+if TYPE_CHECKING:
+    from repro.analysis.concurrency.sanitizer import (
+        Sanitizer,
+        SanitizerConfig,
+    )
+
 
 @dataclass
 class SVQAConfig:
@@ -69,6 +76,10 @@ class SVQAConfig:
     #: observability layer (span tracing); ``None`` keeps the off path
     #: bit-identical — no tracer is even constructed
     observability: ObservabilityConfig | None = None
+    #: runtime lock/race sanitizer ("tsan-lite"); ``None`` keeps every
+    #: lock raw and every note hook a single ``is None`` check, so
+    #: answers are bit-identical with the sanitizer disabled
+    sanitizer: SanitizerConfig | None = None
 
 
 class SVQA:
@@ -97,6 +108,17 @@ class SVQA:
         self.annotations = annotations
         self.merged: MergedGraph | None = None
         self.scene_graphs: list[SceneGraphResult] | None = None
+        # install the sanitizer (if configured) before any lock is
+        # constructed, so every wrap_lock below sees the observer;
+        # the import is lazy to keep repro.core a leaf of
+        # repro.analysis (which imports core for the query rules)
+        self.sanitizer: Sanitizer | None = None
+        if self.config.sanitizer is not None:
+            from repro import locks
+            from repro.analysis.concurrency.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(self.config.sanitizer)
+            locks.install(self.sanitizer)
         self._cache = self._make_cache()
         self._executor: QueryGraphExecutor | None = None
         self._stats = ExecutorStats()
@@ -113,6 +135,19 @@ class SVQA:
             self.resilience = ResilienceManager(self.config.resilience,
                                                 stats=self._stats,
                                                 tracer=self.tracer)
+
+    def release_sanitizer(self) -> None:
+        """Deactivate this instance's sanitizer (idempotent).
+
+        The observer seam is process-wide, so a sanitized SVQA owns
+        it until released; call this before building another
+        sanitized instance (``repro sanitize`` and the sanitizer
+        tests run workloads back to back).
+        """
+        if self.sanitizer is not None:
+            from repro import locks
+
+            locks.uninstall(self.sanitizer)
 
     def _make_cache(self) -> KeyCentricCache:
         config = self.config

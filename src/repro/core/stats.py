@@ -26,6 +26,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.locks import note_read, note_write, wrap_lock
 from repro.observability.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
@@ -124,7 +125,7 @@ class ExecutorStats:
     """
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "stats")
         self._per_query_vertices: list[int] = []
         self.registry = registry if registry is not None \
             else MetricsRegistry()
@@ -203,6 +204,7 @@ class ExecutorStats:
         """One query ran to completion, executing ``vertex_count``
         query-graph vertices."""
         with self._lock:
+            note_write("stats.per_query_vertices")
             self._per_query_vertices.append(vertex_count)
         self._queries.inc()
         self._query_vertices.observe(vertex_count)
@@ -289,6 +291,7 @@ class ExecutorStats:
     def reset(self) -> None:
         """Zero every counter, histogram, and gauge."""
         with self._lock:
+            note_write("stats.per_query_vertices")
             self._per_query_vertices.clear()
         self.registry.reset()
 
@@ -300,6 +303,7 @@ class ExecutorStats:
         with the report.
         """
         with self._lock:
+            note_read("stats.per_query_vertices")
             counts = tuple(self._per_query_vertices)
         cache = self._cache_requests
         scope_hits = int(cache.value(store="scope", outcome="hit"))

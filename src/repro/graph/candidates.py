@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.locks import note_read, note_write
 from repro.nlp.dword import within_distance
 from repro.nlp.morphology import noun_singular
 from repro.nlp.semlex import cluster_of
@@ -184,6 +185,7 @@ class VertexCandidateIndex:
     # ------------------------------------------------------------------
     def add_label(self, label: str) -> None:
         """Register one more vertex carrying ``label``."""
+        note_write("graph.candidate_index")
         count = self._refs.get(label, 0)
         self._refs[label] = count + 1
         if count:
@@ -203,6 +205,7 @@ class VertexCandidateIndex:
     def remove_label(self, label: str) -> None:
         """Unregister one vertex carrying ``label``; the label leaves
         every bucket when its last vertex goes."""
+        note_write("graph.candidate_index")
         count = self._refs.get(label)
         if count is None:
             raise KeyError(f"label {label!r} is not indexed")
@@ -243,6 +246,7 @@ class VertexCandidateIndex:
         category query word ("girl") matches exactly and must not
         reach its synonym cluster.
         """
+        note_read("graph.candidate_index")
         lowered = query.lower()
         matched: dict[str, None] = {}
         examined = 0

@@ -37,6 +37,8 @@ import re
 import threading
 from typing import Any
 
+from repro.locks import note_write, wrap_lock
+
 #: fixed simulated-seconds buckets for per-query latency histograms
 #: (chosen to straddle the MVQA per-query range of ~0.05-1 sim-s)
 LATENCY_BUCKETS: tuple[float, ...] = (
@@ -92,7 +94,7 @@ class MetricFamily:
         self.name = name
         self.help_text = help_text
         self.label_names = tuple(labels)
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), f"metrics.{name}")
 
     def _series_key(self, labels: dict[str, str]) -> tuple[str, ...]:
         """Validate ``labels`` against the schema and key the series."""
@@ -141,6 +143,7 @@ class Counter(MetricFamily):
             )
         key = self._series_key(labels)
         with self._lock:
+            note_write(f"metrics.{self.name}", key)
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
@@ -195,12 +198,14 @@ class Gauge(Counter):
         """Overwrite the labeled series with ``value``."""
         key = self._series_key(labels)
         with self._lock:
+            note_write(f"metrics.{self.name}", key)
             self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         """Add ``amount`` (may be negative) to the labeled series."""
         key = self._series_key(labels)
         with self._lock:
+            note_write(f"metrics.{self.name}", key)
             self._series[key] = self._series.get(key, 0.0) + amount
 
 
@@ -237,6 +242,7 @@ class Histogram(MetricFamily):
         """Record one observation into the labeled series."""
         key = self._series_key(labels)
         with self._lock:
+            note_write(f"metrics.{self.name}", key)
             series = self._series.get(key)
             if series is None:
                 series = _HistogramSeries(len(self.buckets))
@@ -382,32 +388,38 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "metrics.registry")
         self._families: dict[str, MetricFamily] = {}
 
     def _register(self, family_type: type, name: str, help_text: str,
                   labels: tuple[str, ...],
                   **kwargs: Any) -> MetricFamily:
-        """Get-or-create a family, enforcing schema consistency."""
+        """Get-or-create a family, enforcing schema consistency.
+
+        Family construction is virtual dispatch the registry lock
+        must not pin (RP010), so the miss path constructs outside
+        the critical section and inserts with a re-check: a racing
+        registrant may win, in which case the loser's instance is
+        discarded before anyone can observe it.
+        """
         with self._lock:
             existing = self._families.get(name)
-            if existing is not None:
-                if not isinstance(existing, family_type) or \
-                        type(existing) is not family_type:
-                    raise ValueError(
-                        f"metric {name!r} already registered as "
-                        f"{existing.metric_type}"
-                    )
-                if existing.label_names != tuple(labels):
-                    raise ValueError(
-                        f"metric {name!r} already registered with "
-                        f"labels {existing.label_names}"
-                    )
-                return existing
-            family = family_type(name, help_text, labels=tuple(labels),
-                                 **kwargs)
-            self._families[name] = family
-            return family
+        if existing is None:
+            candidate = family_type(name, help_text,
+                                    labels=tuple(labels), **kwargs)
+            with self._lock:
+                existing = self._families.setdefault(name, candidate)
+        if type(existing) is not family_type:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{existing.metric_type}"
+            )
+        if existing.label_names != tuple(labels):
+            raise ValueError(
+                f"metric {name!r} already registered with "
+                f"labels {existing.label_names}"
+            )
+        return existing
 
     def counter(self, name: str, help_text: str,
                 labels: tuple[str, ...] = ()) -> Counter:

@@ -40,6 +40,7 @@ from contextlib import AbstractContextManager, contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.locks import note_write, wrap_lock
 from repro.simtime import SimClock
 
 #: the closed span taxonomy (see DESIGN.md §5e); instrumentation may
@@ -134,7 +135,7 @@ class Tracer:
             raise ValueError("max_spans_per_trace must be >= 1, got "
                              f"{max_spans_per_trace}")
         self.max_spans_per_trace = max_spans_per_trace
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "tracer")
         self._segments: list[_Segment] = []
         self._seq_by_trace: dict[str, int] = {}
         self._local = threading.local()
@@ -155,6 +156,7 @@ class Tracer:
             yield
             return
         with self._lock:
+            note_write("tracer.segments", trace_id)
             seq = self._seq_by_trace.get(trace_id, 0)
             self._seq_by_trace[trace_id] = seq + 1
         segment = _Segment(trace_id, seq, clock)
@@ -164,6 +166,7 @@ class Tracer:
         finally:
             self._local.segment = None
             with self._lock:
+                note_write("tracer.segments", segment.trace_id)
                 self._segments.append(segment)
 
     @contextmanager

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.locks import wrap_lock
+
 #: breaker states
 CLOSED = "closed"
 OPEN = "open"
@@ -38,7 +40,7 @@ class CircuitBreaker:
             raise ValueError(f"cooldown must be >= 1, got {cooldown}")
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "resilience.breaker")
         self._state = CLOSED
         self._consecutive_failures = 0
         self._rejections_since_open = 0

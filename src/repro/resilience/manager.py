@@ -40,6 +40,7 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.events import FaultEvent
 from repro.resilience.faults import FAULT_SITES, FaultInjector, FaultSpec
 from repro.resilience.retry import DeadlineBudget, RetryPolicy
+from repro.locks import wrap_lock
 from repro.simtime import SimClock
 
 if TYPE_CHECKING:
@@ -111,7 +112,7 @@ class ResilienceManager:
         self.stats = stats
         self.tracer = tracer
         self._breakers: dict[str, CircuitBreaker] = {}
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "resilience.manager")
 
     def _breaker(self, site: str) -> CircuitBreaker:
         with self._lock:

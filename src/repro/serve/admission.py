@@ -29,6 +29,8 @@ import threading
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.locks import wrap_lock
+
 
 def _unit_hash(seed: int, client: str, sequence: int) -> float:
     """Deterministic uniform value in ``[0, 1)`` for one decision."""
@@ -125,7 +127,7 @@ class AdmissionController:
         self.max_queue = max_queue
         self.soft_queue = soft
         self.seed = seed
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "serve.admission")
         self._buckets: dict[str, TokenBucket] = {}
         self._sequences: dict[str, int] = {}
         self._in_flight = 0

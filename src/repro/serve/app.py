@@ -31,6 +31,7 @@ from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 from socketserver import ThreadingMixIn
 
 from repro.core.pipeline import SVQA, SVQAConfig
+from repro.locks import wrap_lock
 from repro.errors import QueryError
 from repro.observability.metrics import COUNT_BUCKETS
 from repro.resilience import ResilienceConfig
@@ -155,7 +156,7 @@ class QAService:
             workers=self.config.workers,
             on_batch=self._record_batch,
         )
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "serve.app")
         self._requests_total = 0
         registry = svqa.metrics
         self._http_requests = registry.counter(

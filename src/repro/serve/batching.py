@@ -27,6 +27,7 @@ from collections.abc import Callable
 
 from repro.core.answer import Answer
 from repro.core.pipeline import SVQA
+from repro.locks import note_read, note_write, wrap_lock
 
 
 class _PendingRequest:
@@ -66,7 +67,7 @@ class BatchingBridge:
         self.max_wait = max_wait
         self.workers = workers
         self.on_batch = on_batch
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "serve.bridge")
         self._cond = threading.Condition(self._lock)
         self._pending: list[_PendingRequest] = []
         self._closed = False
@@ -87,6 +88,7 @@ class BatchingBridge:
     def pending_count(self) -> int:
         """Requests queued for the collector, not yet executing."""
         with self._lock:
+            note_read("bridge.pending")
             return len(self._pending)
 
     def submit(self, question: str,
@@ -114,6 +116,7 @@ class BatchingBridge:
         with self._cond:
             if self._closed:
                 raise RuntimeError("bridge is closed")
+            note_write("bridge.pending")
             self._pending.append(request)
             self._cond.notify()
         request.done.wait()
@@ -138,6 +141,7 @@ class BatchingBridge:
                     # one coalescing window: let stragglers join the
                     # batch that the first arrival opened
                     self._cond.wait(timeout=self.max_wait)
+                note_write("bridge.pending")
                 batch = self._pending[: self.max_batch]
                 del self._pending[: self.max_batch]
             if batch:

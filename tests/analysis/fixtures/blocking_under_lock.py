@@ -1,0 +1,53 @@
+"""Fixture: blocking primitives inside critical sections (RP009).
+
+Every method here pins its lock across a wait — ``Future.result``,
+``Queue.get``, ``Event.wait``, and a thread ``join`` — so each is
+one expected RP009 finding.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+
+
+class ResultUnderLock:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def wait_for(self, future: Future[int]) -> int:
+        with self._lock:
+            self.value = future.result()
+            return self.value
+
+
+class QueueUnderLock:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.work_queue: queue.Queue[int] = queue.Queue()
+
+    def take(self) -> int:
+        with self._lock:
+            return self.work_queue.get()
+
+
+class EventUnderLock:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.ready = threading.Event()
+
+    def wait_ready(self) -> None:
+        with self._lock:
+            self.ready.wait()
+
+
+class JoinUnderLock:
+    def __init__(self, worker: threading.Thread) -> None:
+        self._lock = threading.Lock()
+        self.worker = worker
+
+    def stop(self) -> None:
+        with self._lock:
+            self.worker.join()

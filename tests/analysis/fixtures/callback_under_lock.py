@@ -1,0 +1,49 @@
+"""Fixture: dispatch-under-lock and lock publication (RP010/RP011).
+
+``Notifier.fire`` runs an arbitrary stored callback inside its
+critical section (RP010); ``apply`` does the same with a callable
+parameter (RP010).  ``Leaky`` returns its lock, hands it to a
+helper, and ``grab_foreign`` reaches into another object's private
+lock (three RP011 findings).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+
+class Notifier:
+    def __init__(self, on_change: Callable[[int], None]) -> None:
+        self._lock = threading.Lock()
+        self.on_change = on_change
+        self.version = 0
+
+    def fire(self) -> None:
+        with self._lock:
+            self.version += 1
+            self.on_change(self.version)
+
+    def apply(self, mutator: Callable[[int], int]) -> None:
+        with self._lock:
+            self.version = mutator(self.version)
+
+
+def _audit(lock: threading.Lock) -> None:
+    del lock
+
+
+class Leaky:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.state = 0
+
+    def expose(self) -> threading.Lock:
+        return self._lock
+
+    def share(self) -> None:
+        _audit(self._lock)
+
+    def grab_foreign(self, other: Notifier) -> None:
+        with other._lock:
+            self.state += 1

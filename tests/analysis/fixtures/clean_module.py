@@ -1,0 +1,54 @@
+"""Fixture: disciplined lock usage — no RP008–RP011 rule may fire.
+
+One lock per class, no nesting across classes in conflicting
+orders, waits happen outside critical sections, callbacks are
+invoked after release, and no lock ever escapes its owner.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from concurrent.futures import Future
+
+
+class Tidy:
+    def __init__(self, on_change: Callable[[int], None]) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.on_change = on_change
+        self.version = 0
+
+    def bump(self) -> int:
+        with self._lock:
+            self.version += 1
+            snapshot = self.version
+        self.on_change(snapshot)
+        return snapshot
+
+    def wait_for(self, future: Future[int]) -> int:
+        value = future.result()
+        with self._lock:
+            self.version = value
+            self._cond.notify_all()
+        return value
+
+    def await_version(self, minimum: int) -> int:
+        with self._lock:
+            while self.version < minimum:
+                self._cond.wait()
+            return self.version
+
+
+class TidyPair:
+    """Nests ``Tidy._lock`` inside its own — in one order only."""
+
+    def __init__(self, inner: Tidy) -> None:
+        self._lock = threading.Lock()
+        self.inner = inner
+        self.total = 0
+
+    def record(self) -> None:
+        with self._lock:
+            self.total += 1
+        self.inner.bump()

@@ -1,0 +1,41 @@
+"""Fixture: a two-lock order inversion (RP008 must fire here).
+
+``AccountA.transfer_ab`` nests ``AccountB._lock`` inside
+``AccountA._lock``; ``AccountB.transfer_ba`` nests them the other
+way around.  Two threads running one each can deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AccountB:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.balance = 0
+
+    def credit(self, amount: int) -> None:
+        with self._lock:
+            self.balance += amount
+
+    def transfer_ba(self, amount: int, target: AccountA) -> None:
+        with self._lock:
+            self.balance -= amount
+            target.debit_locked(amount)
+
+
+class AccountA:
+    def __init__(self, peer: AccountB) -> None:
+        self._lock = threading.Lock()
+        self.peer = peer
+        self.balance = 0
+
+    def transfer_ab(self, amount: int) -> None:
+        with self._lock:
+            self.balance -= amount
+            self.peer.credit(amount)
+
+    def debit_locked(self, amount: int) -> None:
+        with self._lock:
+            self.balance += amount

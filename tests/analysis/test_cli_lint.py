@@ -1,5 +1,6 @@
 """CLI tests for ``repro lint-queries`` and ``repro lint-code``."""
 
+import json
 import textwrap
 
 from repro.cli import main
@@ -48,3 +49,63 @@ class TestLintCodeCommand:
         out = capsys.readouterr().out
         assert code == 1
         assert "[RP001]" in out
+
+
+class TestJsonOutput:
+    def test_lint_code_json_is_machine_readable(self, capsys):
+        code = main(["lint-code", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["errors"] == 0
+        assert data["diagnostics"] == []
+
+    def test_lint_code_json_carries_findings(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "hot.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        code = main(["lint-code", "--json", str(tmp_path)])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert data["errors"] == 1
+        assert data["diagnostics"][0]["rule_id"] == "RP001"
+
+    def test_lint_queries_json_reports_parse_rejection(self, capsys):
+        code = main(["lint-queries", "--json",
+                     "Is there a canis near the fence?"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [d["rule_id"] for d in data["diagnostics"]] == ["QG000"]
+
+    def test_lint_queries_json_clean_question(self, capsys):
+        code = main(["lint-queries", "--json",
+                     "Is there a dog near the fence?"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data == {"errors": 0, "warnings": 0, "notes": 0,
+                        "diagnostics": []}
+
+
+class TestSanitizeCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["sanitize", "--scenes", "2", "--repeat", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "concurrency sanitizer report" in out
+        assert "findings: none" in out
+
+    def test_same_seed_output_is_byte_identical(self, capsys):
+        main(["sanitize", "--scenes", "2", "--repeat", "1", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["sanitize", "--scenes", "2", "--repeat", "1", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_json_report_lists_lock_roles(self, capsys):
+        code = main(["sanitize", "--scenes", "2", "--repeat", "1",
+                     "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["findings"] == []
+        assert "cache.scope" in data["lock_roles"]
+        assert "batch.shards" in data["lock_roles"]

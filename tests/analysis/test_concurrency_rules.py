@@ -1,0 +1,132 @@
+"""Project rules RP008-RP011 over the concurrency fixtures.
+
+Each rule must fire exactly at the planted sites in
+``tests/analysis/fixtures/`` and stay silent on the clean fixture and
+on the shipped source tree (post-triage).
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.code_linter import (
+    LOCK_MODULES,
+    RuleBinding,
+    default_project_bindings,
+    default_source_root,
+    lint_paths,
+)
+from repro.analysis.concurrency import (
+    ALL_PROJECT_RULES,
+    BlockingUnderLockRule,
+    DispatchUnderLockRule,
+    LockOrderAnalysis,
+    LockOrderInversionRule,
+    LockPublicationRule,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _analyze(*names: str) -> LockOrderAnalysis:
+    trees = {}
+    for name in names:
+        path = FIXTURES / name
+        trees[str(path)] = ast.parse(path.read_text())
+    return LockOrderAnalysis(trees)
+
+
+def _lines(diagnostics) -> list[int]:
+    return sorted(d.location.line for d in diagnostics)
+
+
+class TestLockOrderInversionRule:
+    def test_inversion_fixture_fires_once(self):
+        analysis = _analyze("lock_inversion.py")
+        found = LockOrderInversionRule().check_project(analysis)
+        assert len(found) == 1
+        assert found[0].rule_id == "RP008"
+        assert "AccountA._lock" in found[0].message
+        assert "AccountB._lock" in found[0].message
+
+    def test_clean_fixture_is_silent(self):
+        analysis = _analyze("clean_module.py")
+        assert LockOrderInversionRule().check_project(analysis) == []
+
+
+class TestBlockingUnderLockRule:
+    def test_all_four_blocking_sites_fire(self):
+        analysis = _analyze("blocking_under_lock.py")
+        found = BlockingUnderLockRule().check_project(analysis)
+        assert [d.rule_id for d in found] == ["RP009"] * 4
+        messages = " ".join(d.message for d in found)
+        assert ".result(" in messages
+        assert ".get(" in messages
+        assert ".wait(" in messages
+        assert ".join(" in messages
+
+    def test_condition_wait_on_own_lock_is_exempt(self):
+        # clean_module.Tidy.await_version waits on a Condition built
+        # over the very lock it holds -- the one legitimate shape
+        analysis = _analyze("clean_module.py")
+        assert BlockingUnderLockRule().check_project(analysis) == []
+
+
+class TestDispatchUnderLockRule:
+    def test_callback_invocations_under_lock_fire(self):
+        analysis = _analyze("callback_under_lock.py")
+        found = DispatchUnderLockRule().check_project(analysis)
+        assert len(found) == 2
+        assert {d.rule_id for d in found} == {"RP010"}
+
+    def test_callback_after_release_is_silent(self):
+        analysis = _analyze("clean_module.py")
+        assert DispatchUnderLockRule().check_project(analysis) == []
+
+
+class TestLockPublicationRule:
+    def test_return_argument_and_foreign_acquire_fire(self):
+        analysis = _analyze("callback_under_lock.py")
+        found = LockPublicationRule().check_project(analysis)
+        assert len(found) == 3
+        assert {d.rule_id for d in found} == {"RP011"}
+
+    def test_condition_alias_is_not_publication(self):
+        # threading.Condition(self._lock) in __init__ is the sanctioned
+        # way to share a lock with its own condition variable
+        analysis = _analyze("clean_module.py")
+        assert LockPublicationRule().check_project(analysis) == []
+
+
+class TestFixturesThroughLinter:
+    def test_lint_paths_reports_every_planted_site(self):
+        bindings = [RuleBinding(rule()) for rule in ALL_PROJECT_RULES]
+        report = lint_paths([FIXTURES], bindings=[],
+                            project_bindings=bindings)
+        by_rule = {rid: report.by_rule(rid)
+                   for rid in ("RP008", "RP009", "RP010", "RP011")}
+        assert len(by_rule["RP008"]) == 1
+        assert len(by_rule["RP009"]) == 4
+        assert len(by_rule["RP010"]) == 2
+        assert len(by_rule["RP011"]) == 3
+        clean = str(FIXTURES / "clean_module.py")
+        assert all(d.location.file != clean for d in report)
+
+
+class TestDefaultProjectBindings:
+    def test_bindings_cover_rp008_to_rp011(self):
+        ids = {b.rule.rule_id for b in default_project_bindings()}
+        assert ids == {"RP008", "RP009", "RP010", "RP011"}
+
+    def test_lock_modules_exist_on_disk(self):
+        root = default_source_root().parent
+        for module in LOCK_MODULES:
+            assert (root / module).is_file(), module
+
+
+class TestRealRepositoryPostTriage:
+    def test_shipped_tree_has_zero_project_findings(self):
+        """Satellite 1 acceptance: every finding fixed or allowlisted."""
+        report = lint_paths([default_source_root()])
+        concurrency = [d for d in report
+                       if d.rule_id in ("RP008", "RP009", "RP010", "RP011")]
+        assert concurrency == [], report.render()

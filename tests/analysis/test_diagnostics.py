@@ -91,3 +91,45 @@ class TestDiagnosticReport:
     def test_summary_tallies_by_severity(self):
         report = DiagnosticReport([diag(), diag("X", Severity.WARNING)])
         assert report.summary() == "1 error(s), 1 warning(s), 0 note(s)"
+
+
+class TestJsonSerialization:
+    def test_location_round_trips(self):
+        loc = Location(file="src/x.py", line=3, column=7,
+                       vertex=2, edge=(1, 4))
+        assert Location.from_dict(loc.to_dict()) == loc
+        assert Location.from_dict(Location().to_dict()) == Location()
+
+    def test_diagnostic_round_trips(self):
+        original = diag("QG003", Severity.WARNING, file="src/x.py",
+                        line=9)
+        rebuilt = Diagnostic.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_report_round_trips(self):
+        report = DiagnosticReport([
+            diag("QG001", Severity.ERROR, vertex=1),
+            diag("QG008", Severity.WARNING, file="src/x.py", line=2),
+            diag("QG009", Severity.INFO),
+        ])
+        data = report.to_dict()
+        assert data["errors"] == 1
+        assert data["warnings"] == 1
+        assert data["notes"] == 1
+        rebuilt = DiagnosticReport.from_dict(data)
+        assert list(rebuilt) == list(report)
+
+    def test_to_json_key_order_is_stable(self):
+        report = DiagnosticReport([diag(file="src/x.py", line=1)])
+        first = report.to_json()
+        second = DiagnosticReport.from_dict(report.to_dict()).to_json()
+        assert first == second
+        assert first.index('"errors"') < first.index('"warnings"')
+        assert first.index('"warnings"') < first.index('"diagnostics"')
+
+    def test_empty_report_to_json(self):
+        import json
+
+        data = json.loads(DiagnosticReport().to_json())
+        assert data == {"errors": 0, "warnings": 0, "notes": 0,
+                        "diagnostics": []}
