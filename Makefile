@@ -1,7 +1,7 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
 .PHONY: test lint lint-analysis sanitize docs-check profile bench \
-	chaos serve serve-smoke
+	chaos serve serve-smoke snapshot-smoke store-torture
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -65,3 +65,13 @@ serve:
 # endpoints over HTTP (the CI serve-smoke job runs the same script)
 serve-smoke:
 	python scripts/serve_smoke.py
+
+# write a snapshot, boot a cold and a warm server, and byte-diff the
+# /ask and /metrics transcripts (warm start must be indistinguishable)
+snapshot-smoke:
+	python scripts/snapshot_smoke.py
+
+# exhaustive crash-torture sweep: damage every snapshot/WAL byte
+# boundary and assert recovery never yields a silent partial load
+store-torture:
+	PYTHONPATH=src python -m repro store-torture --seed 0

@@ -82,15 +82,20 @@ def check_healthz(base):
     if status != 200:
         fail(f"/healthz returned {status}")
     payload = json.loads(body)
-    if sorted(payload) != ["admission", "breakers", "index", "status"]:
+    expected_keys = ["admission", "breakers", "index", "status", "store"]
+    if sorted(payload) != expected_keys:
         fail(f"/healthz shape wrong: {sorted(payload)}")
     if payload["status"] != "ok" or not payload["index"]["ready"]:
         fail(f"service not healthy: {payload}")
     states = set(payload["breakers"].values())
-    if len(payload["breakers"]) != 7 or states != {"closed"}:
+    if len(payload["breakers"]) != 10 or states != {"closed"}:
         fail(f"breaker map wrong: {payload['breakers']}")
+    if payload["store"]["source"] != "rebuild":
+        fail(f"cold serve should report store source=rebuild: "
+             f"{payload['store']}")
     print(f"  /healthz ok: {len(payload['breakers'])} breakers closed, "
-          f"epoch {payload['index']['graph_epoch']}")
+          f"epoch {payload['index']['graph_epoch']}, "
+          f"store source={payload['store']['source']}")
 
 
 def check_metrics(base):

@@ -125,6 +125,7 @@ LOCK_MODULES: tuple[str, ...] = (
     "repro/serve/batching.py",
     "repro/resilience/manager.py",
     "repro/resilience/breaker.py",
+    "repro/graph/durable.py",
     "repro/observability/spans.py",
     "repro/observability/metrics.py",
     "repro/analysis/code_rules.py",

@@ -50,7 +50,22 @@ LOCK_FACTORY_SUFFIXES: tuple[str, ...] = (
 )
 
 #: attribute names that read as a private lock (RP011's publication test)
-_PRIVATE_LOCK_RE = re.compile(r"^_\w*lock\w*$", re.IGNORECASE)
+_PRIVATE_LOCK_RE = re.compile(r"^_(?:\w+_)?r?locks?(?:_\w+)?$",
+                              re.IGNORECASE)
+
+#: ``lock``/``cond`` must appear as a word segment (``_lock``,
+#: ``state_lock``, ``rlock``, ``io_cond``), not as an incidental
+#: substring (``clock``, ``block``, ``second``)
+_LOCK_SEGMENT_RE = re.compile(r"(?:^|_)r?lock", re.IGNORECASE)
+_COND_SEGMENT_RE = re.compile(r"(?:^|_)r?cond", re.IGNORECASE)
+
+
+def _lockish_name(name: str) -> bool:
+    return _LOCK_SEGMENT_RE.search(name) is not None
+
+
+def _condish_name(name: str) -> bool:
+    return _COND_SEGMENT_RE.search(name) is not None
 
 #: callees a lock may legitimately be handed to (lock composition)
 PUBLICATION_EXEMPT_CALLEES: frozenset[str] = frozenset({
@@ -291,7 +306,7 @@ class _FunctionWalker:
                 canonical = self.klass.canonical(attr)
                 if canonical in self.klass.locks:
                     return self.klass.lock_id(attr)
-            if "lock" in attr.lower() or "cond" in attr.lower():
+            if _lockish_name(attr) or _condish_name(attr):
                 owner = self.klass.name if self.klass is not None \
                     else self.info.qualname
                 return LockId(self.info.module, owner, attr)
@@ -300,7 +315,7 @@ class _FunctionWalker:
             known = self.local_locks.get(expr.id)
             if known is not None:
                 return known
-            if "lock" in expr.id.lower() or "cond" in expr.id.lower():
+            if _lockish_name(expr.id) or _condish_name(expr.id):
                 return LockId(self.info.module, self.info.qualname,
                               expr.id)
         return None
@@ -587,7 +602,7 @@ def _extract_class_metadata(node: ast.ClassDef,
         if isinstance(item, ast.AnnAssign) \
                 and isinstance(item.target, ast.Name):
             target = item.target.id
-            if "lock" in target.lower():
+            if _lockish_name(target):
                 klass.locks.add(target)
             else:
                 name = _annotation_name(item.annotation)
@@ -620,7 +635,7 @@ def _extract_class_metadata(node: ast.ClassDef,
                 if head and head[0].isupper():
                     klass.attr_types[attr] = head
                     continue
-        if "lock" in attr.lower():
+        if _lockish_name(attr):
             klass.locks.add(attr)
     # constructor parameters stored on self: types and callbacks
     for item in node.body:

@@ -103,12 +103,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         soft_queue=args.soft_queue,
         default_deadline_ms=args.deadline_ms,
         chaos=args.chaos,
+        snapshot=args.snapshot,
     )
     service = build_service(config)
     server = make_qa_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    start = "cold build"
+    if service.store_report is not None:
+        rep = service.store_report
+        start = (f"warm start from snapshot (epoch={rep.epoch}, "
+                 f"wal_records_replayed={rep.wal_records_replayed})"
+                 if rep.source == "snapshot"
+                 else "snapshot unrecoverable; cold rebuild")
     print(f"serving {args.scenario} scenario on http://{host}:{port} "
-          f"(workers={args.workers}, max_batch={args.max_batch})",
+          f"(workers={args.workers}, max_batch={args.max_batch}, "
+          f"{start})",
           flush=True)
     try:
         server.serve_forever()
@@ -118,6 +127,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close()
     return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Build a scenario's merged graph and write its durable snapshot.
+
+    The pipeline is constructed exactly as ``repro serve`` would build
+    it, so ``repro serve --snapshot`` warm-started from this directory
+    answers byte-identically to a cold-built server at the same seed.
+    """
+    from repro.graph.durable import DurableStore
+    from repro.serve import ServeConfig, build_svqa
+
+    config = ServeConfig(scenario=args.scenario, seed=args.seed,
+                         workers=args.workers)
+    svqa = build_svqa(config)
+    assert svqa.merged is not None
+    store = DurableStore(args.out, clock=svqa.clock)
+    manifest = store.snapshot(svqa.merged.graph,
+                              merged_meta=svqa.merged.meta_dict())
+    store.close()
+    print(f"snapshot written to {args.out}: "
+          f"epoch={manifest['epoch']} "
+          f"vertices={manifest['vertices']} "
+          f"edges={manifest['edges']} "
+          f"records={manifest['records']} "
+          f"digest={manifest['payload_digest']}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a durable store directory and print the verdict.
+
+    Exit 0 when a snapshot-sourced graph was recovered, 1 when the
+    store degraded to a full-rebuild verdict (damage is quarantined
+    and attributed either way, never silently dropped).
+    """
+    from repro.graph.durable import DurableStore
+
+    store = DurableStore(args.store)
+    result = store.recover()
+    store.close()
+    print(result.report.render())
+    return 0 if result.report.source == "snapshot" else 1
+
+
+def _cmd_store_torture(args: argparse.Namespace) -> int:
+    """Run the crash-torture sweep against a scripted store history."""
+    import json
+    import tempfile
+
+    from repro.graph.torture import run_torture
+
+    with tempfile.TemporaryDirectory() as scratch:
+        report = run_torture(args.seed, scratch)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
 
 
 def _build_mvqa_svqa(args: argparse.Namespace) -> tuple[object, SVQA]:
@@ -424,6 +492,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         title=f"Chaos sweep over {len(questions)} MVQA questions "
               f"(seed={args.seed})",
     ))
+    # ----- durability leg: the same fault rates against the durable
+    # store's guards (store.snapshot / store.wal_append / store.recover)
+    import random
+    import tempfile
+
+    from repro.dataset.kg import build_movie_kg
+    from repro.errors import FaultToleranceError
+    from repro.graph.durable import DurableStore
+    from repro.graph.torture import scripted_mutations
+    from repro.resilience import ResilienceManager
+    from repro.simtime import SimClock
+
+    store_rows = []
+    for rate in rates:
+        manager = ResilienceManager(
+            ResilienceConfig.chaos(rate, seed=args.seed))
+        with tempfile.TemporaryDirectory() as scratch:
+            graph = build_movie_kg()
+            store = DurableStore(scratch, resilience=manager,
+                                 clock=SimClock())
+            try:
+                store.snapshot(graph)
+                snapshot_state = "ok"
+            except FaultToleranceError:
+                snapshot_state = "failed"
+            store.attach(graph)
+            base_epoch = graph.epoch
+            scripted_mutations(graph, random.Random(args.seed))
+            wal_state = "ok" if store.wal_healthy else "degraded"
+            store.close()
+            result = DurableStore(scratch, resilience=manager,
+                                  clock=SimClock()).recover()
+        rep = result.report
+        store_rows.append([
+            f"{rate:.2f}", snapshot_state,
+            str(graph.epoch - base_epoch), wal_state,
+            rep.source, str(rep.epoch),
+            str(rep.wal_records_replayed),
+            str(len(rep.quarantined)),
+        ])
+    print()
+    print(format_table(
+        ["Rate", "Snapshot", "Ops", "WAL", "Recovered", "Epoch",
+         "Replayed", "Quarantined"],
+        store_rows,
+        title=f"Durable-store chaos sweep (seed={args.seed}; sites "
+              "store.snapshot/store.wal_append/store.recover)",
+    ))
+
     if args.dump:
         with open(args.dump, "w", encoding="utf-8") as fh:
             fh.write("\n".join(dump_lines) + "\n")
@@ -652,11 +769,54 @@ def main(argv: list[str] | None = None) -> int:
                        help="default per-request deadline in simulated "
                             "milliseconds when no Deadline-Ms header "
                             "is sent")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="durable store directory (repro snapshot) "
+                            "to warm-start from: recover snapshot+WAL "
+                            "instead of re-running the vision "
+                            "pipeline; unrecoverable stores fall back "
+                            "to a cold rebuild")
     serve.add_argument("--chaos", type=_unit_rate, default=None,
                        metavar="RATE",
                        help="serve under fault injection at this "
                             "per-site rate")
     serve.set_defaults(handler=_cmd_serve)
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="build a scenario's merged graph and write its durable "
+             "checksummed snapshot (for repro serve --snapshot)",
+    )
+    snapshot.add_argument("--out", required=True, metavar="DIR",
+                          help="durable store directory to write")
+    snapshot.add_argument("--scenario", choices=("movie", "mvqa"),
+                          default="movie",
+                          help="corpus to build and snapshot")
+    snapshot.add_argument("--seed", type=int, default=0,
+                          help="pipeline seed (must match the serving "
+                               "seed for byte-identical answers)")
+    snapshot.add_argument("--workers", type=_positive_int, default=1,
+                          help="build-time worker threads")
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
+    recover = commands.add_parser(
+        "recover",
+        help="recover a durable store (snapshot + WAL replay) and "
+             "print the attributed verdict",
+    )
+    recover.add_argument("--store", required=True, metavar="DIR",
+                         help="durable store directory to recover")
+    recover.set_defaults(handler=_cmd_recover)
+
+    torture = commands.add_parser(
+        "store-torture",
+        help="crash-torture the durable store: damage snapshot+WAL at "
+             "every record boundary and verify every recovery",
+    )
+    torture.add_argument("--seed", type=int, default=0,
+                         help="seed for the scripted mutation history")
+    torture.add_argument("--json", action="store_true",
+                         help="emit the full per-case report as JSON")
+    torture.set_defaults(handler=_cmd_store_torture)
 
     mvqa = commands.add_parser("mvqa", help="evaluate SVQA on MVQA")
     mvqa.add_argument("--fast", action="store_true")

@@ -47,6 +47,31 @@ class MergeStats:
     storage_links: int
     created_concepts: int
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (the durable store's ``merged_meta``)."""
+        return {
+            "category_counts": dict(self.category_counts),
+            "cached_categories": list(self.cached_categories),
+            "cached_type_fraction": self.cached_type_fraction,
+            "covered_vertex_fraction": self.covered_vertex_fraction,
+            "cache_links": self.cache_links,
+            "storage_links": self.storage_links,
+            "created_concepts": self.created_concepts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> MergeStats:
+        """Inverse of :meth:`to_dict`; raises ``KeyError`` on holes."""
+        return cls(
+            category_counts=dict(data["category_counts"]),  # type: ignore[call-overload]
+            cached_categories=list(data["cached_categories"]),  # type: ignore[call-overload]
+            cached_type_fraction=float(data["cached_type_fraction"]),  # type: ignore[arg-type]
+            covered_vertex_fraction=float(data["covered_vertex_fraction"]),  # type: ignore[arg-type]
+            cache_links=int(data["cache_links"]),  # type: ignore[call-overload]
+            storage_links=int(data["storage_links"]),  # type: ignore[call-overload]
+            created_concepts=int(data["created_concepts"]),  # type: ignore[call-overload]
+        )
+
 
 @dataclass
 class MergedGraph:
@@ -72,6 +97,33 @@ class MergedGraph:
     def edge_labels(self) -> list[str]:
         """All edge labels ``T`` (Algorithm 3, line 2)."""
         return list(self.graph.edge_labels.labels())
+
+    def meta_dict(self) -> dict[str, object]:
+        """The non-graph bookkeeping, JSON-ready.
+
+        Written into the durable store's ``merged_meta`` snapshot
+        record so a warm-started server can reconstruct the full
+        :class:`MergedGraph` without re-running the vision pipeline.
+        """
+        return {
+            "stats": self.stats.to_dict(),
+            "instance_ids": list(self.instance_ids),
+            "skipped_images": list(self.skipped_images),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, graph: Graph, meta: dict[str, object]
+    ) -> MergedGraph:
+        """Rebuild a :class:`MergedGraph` from a recovered graph plus
+        the snapshot's ``merged_meta`` record (inverse of
+        :meth:`meta_dict`); raises ``KeyError`` on missing fields."""
+        return cls(
+            graph=graph,
+            stats=MergeStats.from_dict(meta["stats"]),  # type: ignore[arg-type]
+            instance_ids=list(meta["instance_ids"]),  # type: ignore[call-overload]
+            skipped_images=list(meta["skipped_images"]),  # type: ignore[call-overload]
+        )
 
 
 @dataclass

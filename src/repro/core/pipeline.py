@@ -209,6 +209,25 @@ class SVQA:
         )
         return self.merged
 
+    def adopt_merged(self, merged: MergedGraph) -> MergedGraph:
+        """Install an already-built merged graph (warm start).
+
+        The durable-store path: a recovered snapshot+WAL replay yields
+        the same :class:`MergedGraph` that :meth:`build` would have
+        produced, so the vision pipeline (detector, relation
+        predictor, aggregator) is skipped entirely.  Answering is
+        bit-identical to the cold path because the snapshot preserves
+        vertex/edge insertion order, ids, and the graph epoch.
+        """
+        self.merged = merged
+        self.scene_graphs = None
+        self._executor = QueryGraphExecutor(
+            merged, cache=self._cache, clock=self.clock,
+            config=self.config.executor, stats=self._stats,
+            resilience=self.resilience, tracer=self.tracer,
+        )
+        return merged
+
     def _require_built(self) -> QueryGraphExecutor:
         if self._executor is None:
             raise QueryError("call build() before answering questions")

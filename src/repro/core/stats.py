@@ -97,6 +97,8 @@ class ExecutorStatsReport:
     degraded_answers: int = 0
     #: scope/path cache entries retired by graph-epoch invalidation
     stale_scope_drops: int = 0
+    #: warm starts that degraded to a full vision-pipeline rebuild
+    store_rebuilds: int = 0
 
     @property
     def scope_hit_rate(self) -> float:
@@ -190,6 +192,10 @@ class ExecutorStats:
             "svqa_stale_scope_drops_total",
             "Scope/path cache entries retired by graph-epoch "
             "invalidation.")
+        self._store_rebuilds = r.counter(
+            "svqa_store_rebuilds_total",
+            "Warm starts that degraded to a full vision-pipeline "
+            "rebuild (durable store unrecoverable).")
         self._hit_ratio = r.gauge(
             "svqa_cache_hit_ratio",
             "Cache hit ratio by store (refreshed at snapshot time).",
@@ -288,6 +294,11 @@ class ExecutorStats:
         if count > 0:
             self._stale_drops.inc(count)
 
+    def record_store_rebuild(self) -> None:
+        """A warm start found the durable store unrecoverable and
+        degraded to a full rebuild."""
+        self._store_rebuilds.inc()
+
     def reset(self) -> None:
         """Zero every counter, histogram, and gauge."""
         with self._lock:
@@ -343,4 +354,5 @@ class ExecutorStats:
             deadline_cutoffs=int(self._deadline_cutoffs.total()),
             degraded_answers=int(self._degraded.total()),
             stale_scope_drops=int(self._stale_drops.total()),
+            store_rebuilds=int(self._store_rebuilds.total()),
         )

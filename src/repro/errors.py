@@ -41,8 +41,38 @@ class DuplicateVertexError(GraphError, ValueError):
         self.vertex_id = vertex_id
 
 
+class DuplicateEdgeError(GraphError, ValueError):
+    """An explicit edge id was added twice."""
+
+    def __init__(self, edge_id: object) -> None:
+        super().__init__(f"duplicate edge id: {edge_id!r}")
+        self.edge_id = edge_id
+
+
 class StoreError(GraphError):
-    """Persistence failed (corrupt file, bad version, ...)."""
+    """Persistence failed (corrupt file, bad version, ...).
+
+    Structured attribution mirrors :class:`QueryParseError`'s style so
+    recovery diagnostics can point at the damage without parsing prose:
+    ``path`` is the offending file, ``lineno`` the 1-based record line
+    (``None`` when the failure precedes record framing), and ``reason``
+    a stable machine-readable slug (``"bad-digest"``, ``"torn-record"``,
+    ``"bad-version"``, ...) used by the recovery report and the
+    crash-torture harness.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object = None,
+        lineno: int | None = None,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.lineno = lineno
+        self.reason = reason
 
 
 class VisionError(ReproError):

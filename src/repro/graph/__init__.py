@@ -3,6 +3,12 @@ traversal, induced subgraph views, persistence, and pattern matching.
 """
 
 from repro.graph.candidates import CandidateMatch, VertexCandidateIndex
+from repro.graph.durable import (
+    DurableStore,
+    RecoveryReport,
+    RecoveryResult,
+    WriteAheadLog,
+)
 from repro.graph.model import Edge, Graph, Vertex
 from repro.graph.query import (
     RelationPair,
@@ -11,7 +17,17 @@ from repro.graph.query import (
     relations_to,
     vertices_with_label,
 )
-from repro.graph.store import GraphStats, graph_stats, load_graph, save_graph
+from repro.graph.store import (
+    GraphStats,
+    LoadedSnapshot,
+    extensional_digest,
+    graph_stats,
+    graphs_equal,
+    load_graph,
+    read_snapshot,
+    save_graph,
+    write_snapshot,
+)
 from repro.graph.subgraph import (
     SubgraphView,
     induced_subgraph_view,
@@ -29,17 +45,24 @@ from repro.graph.traverse import (
 
 __all__ = [
     "CandidateMatch",
+    "DurableStore",
     "Edge",
     "Graph",
     "GraphStats",
+    "LoadedSnapshot",
+    "RecoveryReport",
+    "RecoveryResult",
     "RelationPair",
     "SubgraphView",
     "Vertex",
     "VertexCandidateIndex",
+    "WriteAheadLog",
     "bfs_order",
     "connected_components",
     "dfs_order",
+    "extensional_digest",
     "graph_stats",
+    "graphs_equal",
     "hop_distances",
     "induced_subgraph_view",
     "iter_paths",
@@ -47,9 +70,11 @@ __all__ = [
     "k_hop_subgraph",
     "load_graph",
     "materialize",
+    "read_snapshot",
     "relations_between",
     "relations_from",
     "relations_to",
     "save_graph",
     "vertices_with_label",
+    "write_snapshot",
 ]

@@ -16,11 +16,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
-from repro.errors import DuplicateVertexError, EdgeNotFoundError, VertexNotFoundError
+from repro.errors import (
+    DuplicateEdgeError,
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    VertexNotFoundError,
+)
 from repro.graph.candidates import VertexCandidateIndex
 from repro.graph.index import LabelIndex
+
+if TYPE_CHECKING:
+    from typing import Protocol
+
+    class MutationSink(Protocol):
+        """Observer of structural graph mutations (the WAL seam).
+
+        The durable store's write-ahead log implements this; the graph
+        calls :meth:`record` once per applied mutation with a
+        JSON-ready op dict (``op``, ``epoch``, and the op's payload).
+        With no sink attached the hook is a single ``is None`` check,
+        so persistence is strictly zero-cost when off.
+        """
+
+        def record(self, op: dict[str, Any]) -> None:
+            """One applied mutation, in application order."""
 
 
 @dataclass
@@ -90,6 +111,37 @@ class Graph:
         self.edge_labels = LabelIndex()
         self.candidate_index = VertexCandidateIndex()
         self._epoch = 0
+        self._mutation_sink: MutationSink | None = None
+
+    def attach_mutation_sink(self, sink: MutationSink) -> None:
+        """Attach a mutation observer (the durable store's WAL).
+
+        Every subsequent structural mutation is reported to
+        ``sink.record`` *after* it is applied and the epoch has been
+        bumped, in application order.  One sink at a time: attaching
+        replaces any previous sink.
+        """
+        self._mutation_sink = sink
+
+    def detach_mutation_sink(self) -> None:
+        """Stop reporting mutations (idempotent)."""
+        self._mutation_sink = None
+
+    def _restore_bookkeeping(
+        self, epoch: int, next_vertex_id: int, next_edge_id: int
+    ) -> None:
+        """Restore loader-only counters after rebuilding from a store.
+
+        Replaying a snapshot's records through the public mutators
+        bumps the epoch once per record; the snapshot manifest carries
+        the *original* graph's epoch and id watermarks, which must win
+        so WAL replay and post-recovery ingestion continue the exact
+        id/epoch sequence of the crashed process.  Only the store-v2
+        loader calls this.
+        """
+        self._epoch = epoch
+        self._next_vertex_id = max(self._next_vertex_id, next_vertex_id)
+        self._next_edge_id = max(self._next_edge_id, next_edge_id)
 
     @property
     def epoch(self) -> int:
@@ -127,6 +179,11 @@ class Graph:
         self.vertex_labels.add(label, vertex_id)
         self.candidate_index.add_label(label)
         self._epoch += 1
+        if self._mutation_sink is not None:
+            self._mutation_sink.record({
+                "op": "add_vertex", "epoch": self._epoch,
+                "id": vertex_id, "label": label, "props": vertex.props,
+            })
         return vertex
 
     def add_edge(
@@ -135,19 +192,35 @@ class Graph:
         dst: int,
         label: str,
         props: dict[str, Any] | None = None,
+        edge_id: int | None = None,
     ) -> Edge:
-        """Add a directed edge from ``src`` to ``dst``."""
+        """Add a directed edge from ``src`` to ``dst``.
+
+        ``edge_id`` may be supplied when loading from a store or
+        replaying a write-ahead log; it must not collide with an
+        existing id.
+        """
         if src not in self._vertices:
             raise VertexNotFoundError(src)
         if dst not in self._vertices:
             raise VertexNotFoundError(dst)
-        edge = Edge(self._next_edge_id, src, dst, label, dict(props or {}))
-        self._next_edge_id += 1
+        if edge_id is None:
+            edge_id = self._next_edge_id
+        if edge_id in self._edges:
+            raise DuplicateEdgeError(edge_id)
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        edge = Edge(edge_id, src, dst, label, dict(props or {}))
         self._edges[edge.id] = edge
         self._out[src].append(edge.id)
         self._in[dst].append(edge.id)
         self.edge_labels.add(label, edge.id)
         self._epoch += 1
+        if self._mutation_sink is not None:
+            self._mutation_sink.record({
+                "op": "add_edge", "epoch": self._epoch, "id": edge.id,
+                "src": src, "dst": dst, "label": label,
+                "props": edge.props,
+            })
         return edge
 
     def remove_edge(self, edge_id: int) -> None:
@@ -159,20 +232,38 @@ class Graph:
         self._in[edge.dst].remove(edge_id)
         self.edge_labels.remove(edge.label, edge_id)
         self._epoch += 1
+        if self._mutation_sink is not None:
+            self._mutation_sink.record({
+                "op": "remove_edge", "epoch": self._epoch, "id": edge_id,
+            })
 
     def remove_vertex(self, vertex_id: int) -> None:
-        """Remove a vertex and every edge incident to it."""
-        vertex = self._vertices.pop(vertex_id, None)
+        """Remove a vertex and every edge incident to it.
+
+        Incident edges are removed through :meth:`remove_edge` *while
+        the vertex is still present*, so a mutation sink sees one
+        ``remove_edge`` record per cascaded edge before the
+        ``remove_vertex`` record and — crucially for WAL replay —
+        every intermediate in-memory state equals the state reached by
+        applying the logged op prefix up to that epoch.
+        """
+        vertex = self._vertices.get(vertex_id)
         if vertex is None:
             raise VertexNotFoundError(vertex_id)
         for edge_id in list(self._out[vertex_id]) + list(self._in[vertex_id]):
             if edge_id in self._edges:
                 self.remove_edge(edge_id)
+        del self._vertices[vertex_id]
         del self._out[vertex_id]
         del self._in[vertex_id]
         self.vertex_labels.remove(vertex.label, vertex_id)
         self.candidate_index.remove_label(vertex.label)
         self._epoch += 1
+        if self._mutation_sink is not None:
+            self._mutation_sink.record({
+                "op": "remove_vertex", "epoch": self._epoch,
+                "id": vertex_id,
+            })
 
     def relabel_vertex(self, vertex_id: int, label: str) -> None:
         """Change a vertex label, keeping the label indexes consistent."""
@@ -183,6 +274,11 @@ class Graph:
         self.vertex_labels.add(label, vertex_id)
         self.candidate_index.add_label(label)
         self._epoch += 1
+        if self._mutation_sink is not None:
+            self._mutation_sink.record({
+                "op": "relabel_vertex", "epoch": self._epoch,
+                "id": vertex_id, "label": label,
+            })
 
     # ------------------------------------------------------------------
     # access

@@ -58,6 +58,9 @@ SPAN_NAMES: frozenset[str] = frozenset({
     "executor.match",    # resolving one query-graph slot
     "executor.execute",  # Algorithm 3 over one query graph
     "resilience.retry",  # one backoff before a retry attempt
+    "store.snapshot",    # writing one durable-store snapshot
+    "store.wal_append",  # appending one mutation to the WAL
+    "store.recover",     # snapshot load + WAL replay at warm start
 })
 
 

@@ -35,6 +35,9 @@ FAULT_SITES: dict[str, str] = {
     "cache.scope": "scope-store lookup in the key-centric cache",
     "cache.path": "path-store lookup in the key-centric cache",
     "executor.match": "matchVertex slot resolution in QueryGraphExecutor",
+    "store.snapshot": "writing one durable-store snapshot of G_mg",
+    "store.wal_append": "appending one mutation to the write-ahead log",
+    "store.recover": "snapshot load + WAL replay in DurableStore.recover",
 }
 
 

@@ -139,6 +139,18 @@ class ResilienceManager:
         return {site: self._breaker(site).state
                 for site in sorted(FAULT_SITES)}
 
+    def publish_breaker_states(self) -> None:
+        """Publish the ``svqa_breaker_state`` gauge for every site.
+
+        Normally the gauge only gains a series when a site's guard is
+        first consulted, which makes the metrics exposition depend on
+        *which* pipeline stages ran.  The serving layer calls this
+        once at startup so cold-build and snapshot-warm-started
+        servers expose identical gauge series.
+        """
+        for site in sorted(FAULT_SITES):
+            self._publish_breaker_state(site, self._breaker(site))
+
     def deadline(
         self, clock: SimClock | None, limit: float | None = None
     ) -> DeadlineBudget | None:

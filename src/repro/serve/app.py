@@ -31,6 +31,7 @@ from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 from socketserver import ThreadingMixIn
 
 from repro.core.pipeline import SVQA, SVQAConfig
+from repro.graph.durable import RecoveryReport
 from repro.locks import wrap_lock
 from repro.errors import QueryError
 from repro.observability.metrics import COUNT_BUCKETS
@@ -84,15 +85,34 @@ class ServeConfig:
     soft_queue: int | None = None
     default_deadline_ms: float | None = None
     chaos: float | None = None
+    #: durable-store directory for warm start (``repro serve
+    #: --snapshot``); recovery failure degrades to a cold rebuild
+    snapshot: str | None = None
 
 
 def build_svqa(config: ServeConfig) -> SVQA:
-    """Construct and build the pipeline for one server process.
+    """Construct and build the pipeline for one server process."""
+    svqa, _report = build_svqa_with_store(config)
+    return svqa
+
+
+def build_svqa_with_store(
+    config: ServeConfig,
+) -> tuple[SVQA, RecoveryReport | None]:
+    """Construct the pipeline, warm-starting from a snapshot if asked.
 
     The resilience layer is always on (empty fault specs = production
     guards) so ``/healthz`` can report breaker state and the
     degradation ladder backs every response; ``chaos`` switches on
     uniform fault injection for soak-style runs.
+
+    With ``config.snapshot`` set, the durable store at that directory
+    is recovered (snapshot load + WAL replay) and adopted in place of
+    the cold vision-pipeline build; an unrecoverable store degrades to
+    the cold build, counted on ``svqa_store_rebuilds_total`` and
+    surfaced in the returned :class:`~repro.graph.durable.RecoveryReport`.
+    Either way, every breaker gauge series is published so cold and
+    warm servers expose identical ``/metrics`` families.
     """
     if config.chaos is not None:
         resilience = ResilienceConfig.chaos(config.chaos,
@@ -127,8 +147,54 @@ def build_svqa(config: ServeConfig) -> SVQA:
             f"unknown scenario {config.scenario!r} "
             "(expected 'movie' or 'mvqa')"
         )
-    svqa.build()
-    return svqa
+    report: RecoveryReport | None = None
+    if config.snapshot is not None:
+        report = _warm_start(svqa, config.snapshot)
+    if svqa.merged is None:
+        svqa.build()
+    if svqa.resilience is not None:
+        svqa.resilience.publish_breaker_states()
+    return svqa, report
+
+
+def _warm_start(svqa: SVQA, store_root: str) -> RecoveryReport:
+    """Adopt the durable store's recovered graph, or degrade to cold.
+
+    A recovered snapshot must also carry the ``merged_meta`` record
+    (the MergedGraph bookkeeping); without it the graph alone cannot
+    seed the executor, so the warm start degrades to a rebuild with an
+    attributed note.  The caller runs the cold build when
+    ``svqa.merged`` is still ``None`` afterwards.
+    """
+    from repro.core.aggregator import MergedGraph
+    from repro.graph.durable import DurableStore
+    from repro.observability.spans import maybe_trace
+
+    store = DurableStore(store_root, resilience=svqa.resilience,
+                         clock=svqa.clock, tracer=svqa.tracer)
+    with maybe_trace(svqa.tracer, "warm-start", svqa.clock):
+        result = store.recover()
+    report = result.report
+    if result.graph is not None:
+        if result.merged_meta is None:
+            report.source = "rebuild"
+            report.notes.append(
+                "snapshot carries no merged_meta record; cannot seed "
+                "the executor — rebuilding")
+        else:
+            try:
+                merged = MergedGraph.from_snapshot(
+                    result.graph, result.merged_meta)
+            except (KeyError, TypeError, ValueError) as exc:
+                report.source = "rebuild"
+                report.notes.append(
+                    "merged_meta record is malformed "
+                    f"({type(exc).__name__}); rebuilding")
+            else:
+                svqa.adopt_merged(merged)
+    if report.source == "rebuild":
+        svqa.stats.record_store_rebuild()
+    return report
 
 
 class QAService:
@@ -138,9 +204,15 @@ class QAService:
     and the batching bridge for the whole process lifetime.
     """
 
-    def __init__(self, svqa: SVQA, config: ServeConfig | None = None) -> None:
+    def __init__(
+        self,
+        svqa: SVQA,
+        config: ServeConfig | None = None,
+        store_report: RecoveryReport | None = None,
+    ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.svqa = svqa
+        self.store_report = store_report
         self.admission = AdmissionController(
             clock=lambda: svqa.clock.elapsed,
             rate=self.config.rate,
@@ -332,6 +404,8 @@ class QAService:
             in_flight=self.admission.in_flight,
             queued=self.bridge.pending_count(),
             requests_total=requests_total,
+            store=self.store_report.healthz()
+            if self.store_report is not None else None,
         )
 
     def close(self) -> None:
@@ -348,7 +422,8 @@ class _RequestTooLarge(Exception):
 def build_service(config: ServeConfig | None = None) -> QAService:
     """Build the pipeline once and wrap it in a ready service."""
     config = config if config is not None else ServeConfig()
-    return QAService(build_svqa(config), config)
+    svqa, report = build_svqa_with_store(config)
+    return QAService(svqa, config, store_report=report)
 
 
 class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
@@ -379,5 +454,6 @@ __all__ = [
     "ServeConfig",
     "build_service",
     "build_svqa",
+    "build_svqa_with_store",
     "make_qa_server",
 ]

@@ -94,6 +94,7 @@ def healthz_payload(
     in_flight: int,
     queued: int,
     requests_total: int,
+    store: dict[str, object] | None = None,
 ) -> dict[str, object]:
     """The ``GET /healthz`` body.
 
@@ -101,9 +102,18 @@ def healthz_payload(
     ``closed`` state or the index is not ready — a tripped breaker
     shows up here on the very next request, because the map is read
     live from the ResilienceManager rather than cached.
+
+    ``store`` is the durable-store provenance block
+    (``{"source": "snapshot"|"rebuild", "epoch",
+    "wal_records_replayed"}``, see
+    :meth:`repro.graph.durable.RecoveryReport.healthz`); a server
+    built cold without a store reports the plain-rebuild default.
     """
     degraded = any(state != "closed" for state in breakers.values())
     status = "ok" if index_ready and not degraded else "degraded"
+    if store is None:
+        store = {"source": "rebuild", "epoch": 0,
+                 "wal_records_replayed": 0}
     return {
         "status": status,
         "index": {
@@ -117,6 +127,7 @@ def healthz_payload(
             "queued": queued,
             "requests_total": requests_total,
         },
+        "store": dict(store),
     }
 
 

@@ -57,6 +57,9 @@ DEFAULT_COSTS: dict[str, float] = {
     "kg_lookup": 0.006,             # direct storage lookup for rare vertices
     "subgraph_extract": 0.05,       # extracting one G[S(t,k)]
     "merge_link": 0.0008,           # linking one scene-graph vertex
+    # --- durable store ---
+    "store_record_io": 0.00002,     # framing/parsing one store record
+    "store_fsync": 0.0008,          # one fsync barrier (WAL or snapshot)
 }
 
 

@@ -52,3 +52,20 @@ class TidyPair:
         with self._lock:
             self.total += 1
         self.inner.bump()
+
+
+class Scheduler:
+    """``clock`` and ``blocked`` merely contain the letters l-o-c-k;
+    neither is a lock and neither may trip the lock-name heuristics."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._lock = threading.Lock()
+        self.clock = clock
+        self.blocked = 0
+
+    def tick(self, sink: Callable[[float], None]) -> float:
+        now = self.clock()
+        sink(self.clock)  # publishing a clock is not RP011
+        with self._lock:
+            self.blocked += 1
+        return now

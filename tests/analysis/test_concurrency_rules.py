@@ -96,6 +96,18 @@ class TestLockPublicationRule:
         analysis = _analyze("clean_module.py")
         assert LockPublicationRule().check_project(analysis) == []
 
+    def test_clock_attribute_is_not_a_lock(self):
+        # "clock" contains "lock" as a substring; the name heuristic
+        # must match word segments only, so Scheduler.clock — stored in
+        # __init__ and handed to a callback — stays publishable
+        analysis = _analyze("clean_module.py")
+        klass = next(k for m in analysis.modules.values()
+                     for k in m.classes.values()
+                     if k.name == "Scheduler")
+        assert "clock" not in klass.locks
+        assert "blocked" not in klass.locks
+        assert LockPublicationRule().check_project(analysis) == []
+
 
 class TestFixturesThroughLinter:
     def test_lint_paths_reports_every_planted_site(self):

@@ -85,6 +85,154 @@ class TestErrors:
             load_graph(path)
 
 
+class TestAttributedErrors:
+    def test_missing_header_carries_lineno(self, tmp_path):
+        path = tmp_path / "noheader.jsonl"
+        path.write_text(
+            json.dumps({"type": "vertex", "id": 0, "label": "x"}) + "\n")
+        with pytest.raises(StoreError) as err:
+            load_graph(path)
+        assert err.value.reason == "missing-header"
+        assert err.value.lineno == 1
+        assert str(path) in str(err.value)
+
+    def test_duplicate_header_is_rejected(self, tmp_path):
+        path = tmp_path / "dup.jsonl"
+        header = json.dumps({"type": "header", "version": 1, "name": "x"})
+        path.write_text(header + "\n" + header + "\n")
+        with pytest.raises(StoreError) as err:
+            load_graph(path)
+        assert err.value.reason == "duplicate-header"
+        assert err.value.lineno == 2
+
+    def test_unknown_version_is_attributed(self, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        path.write_text(
+            json.dumps({"type": "header", "version": 9, "name": "x"})
+            + "\n")
+        with pytest.raises(StoreError) as err:
+            load_graph(path)
+        assert err.value.reason == "bad-version"
+        assert err.value.lineno == 1
+
+    def test_bad_json_carries_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "header", "version": 1, "name": "x"})
+            + "\n{not json\n")
+        with pytest.raises(StoreError) as err:
+            load_graph(path)
+        assert err.value.reason == "bad-json"
+        assert err.value.lineno == 2
+
+
+class TestAtomicSave:
+    def test_no_temp_file_left_behind(self, sample, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph(sample, path)
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_crashed_rewrite_keeps_the_old_file(self, sample, tmp_path,
+                                                monkeypatch):
+        path = tmp_path / "g.jsonl"
+        save_graph(sample, path)
+        before = path.read_bytes()
+
+        import os as _os
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(_os, "replace", crash)
+        bigger = Graph(name="bigger")
+        bigger.add_vertex("x")
+        with pytest.raises(StoreError) as err:
+            save_graph(bigger, path)
+        assert err.value.reason == "unwritable"
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert load_graph(path).name == "sample"
+
+
+# -- property-based round trips (gnarly props) ------------------------
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+if HAVE_HYPOTHESIS:
+    json_scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),  # includes "", unicode, surrogates-free
+    )
+    json_values = st.recursive(
+        json_scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=12,
+    )
+    props = st.dictionaries(st.text(max_size=10), json_values,
+                            max_size=4)
+    labels = st.text(min_size=1, max_size=20)
+
+    @pytest.mark.skipif(not HAVE_HYPOTHESIS,
+                        reason="hypothesis not installed")
+    class TestPropertyRoundTrip:
+        @settings(max_examples=50, deadline=None)
+        @given(records=st.lists(st.tuples(labels, props), min_size=1,
+                                max_size=6),
+               edge_props=props, edge_label=labels)
+        def test_gnarly_props_round_trip(self, tmp_path_factory,
+                                         records, edge_props,
+                                         edge_label):
+            g = Graph(name="prop")
+            ids = [g.add_vertex(label, p).id for label, p in records]
+            if len(ids) >= 2:
+                g.add_edge(ids[0], ids[1], edge_label, edge_props)
+            path = tmp_path_factory.mktemp("rt") / "g.jsonl"
+            save_graph(g, path)
+            loaded = load_graph(path)
+            assert loaded.name == g.name
+            assert loaded.vertex_count == g.vertex_count
+            assert loaded.edge_count == g.edge_count
+            for vertex in g.vertices():
+                twin = loaded.vertex(vertex.id)
+                assert twin.label == vertex.label
+                assert twin.props == vertex.props
+            for edge in g.edges():
+                twins = [e for e in loaded.edges() if e.id == edge.id]
+                assert twins and twins[0].props == edge.props
+                assert twins[0].label == edge.label
+
+        @settings(max_examples=50, deadline=None)
+        @given(records=st.lists(st.tuples(labels, props), min_size=1,
+                                max_size=6))
+        def test_snapshot_round_trip_is_extensional(
+                self, tmp_path_factory, records):
+            from repro.graph import (
+                graphs_equal,
+                read_snapshot,
+                write_snapshot,
+            )
+
+            g = Graph(name="prop")
+            for label, p in records:
+                g.add_vertex(label, p)
+            path = tmp_path_factory.mktemp("snap") / "s.jsonl"
+            write_snapshot(g, path)
+            assert graphs_equal(read_snapshot(path).graph, g)
+
+
 class TestStats:
     def test_stats_counts(self, sample):
         stats = graph_stats(sample)

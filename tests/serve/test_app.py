@@ -160,15 +160,18 @@ class TestHealthz:
         assert status == 200
         payload = json.loads(body)
         assert sorted(payload) == ["admission", "breakers", "index",
-                                   "status"]
+                                   "status", "store"]
         assert payload["status"] == "ok"
         assert payload["index"]["ready"] is True
         assert payload["index"]["graph_vertices"] > 0
         assert set(payload["breakers"].values()) == {"closed"}
-        assert len(payload["breakers"]) == 7
+        assert len(payload["breakers"]) == 10
         admission = payload["admission"]
         assert admission["in_flight"] == 0
         assert admission["queued"] == 0
+        # a cold-built server reports the plain-rebuild store default
+        assert payload["store"] == {"source": "rebuild", "epoch": 0,
+                                    "wal_records_replayed": 0}
 
     def test_breaker_trip_visible_on_next_request(self, svqa):
         service = QAService(svqa, ServeConfig())
