@@ -1,7 +1,7 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
-.PHONY: test lint lint-analysis sanitize docs-check profile bench \
-	chaos serve serve-smoke snapshot-smoke store-torture
+.PHONY: test lint lint-analysis sanitize docs-check doc-links profile \
+	bench chaos serve serve-smoke snapshot-smoke store-torture
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -36,10 +36,16 @@ sanitize:
 docs-check:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check --select D100,D101,D102,D103,D104,D105,D419 \
-			src/repro/core src/repro/observability; \
+			src/repro/core src/repro/observability \
+			src/repro/graph src/repro/serve src/repro/resilience; \
 	else \
 		echo "ruff not installed — skipping docs check (CI runs it)"; \
 	fi
+
+# every relative markdown link and path/to/file.py:line reference in
+# the documentation tier must resolve against the working tree
+doc-links:
+	python scripts/check_doc_links.py
 
 # deterministic per-stage profile of the fast MVQA suite; writes the
 # artifacts the CI observability job byte-diffs

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI gate: every documentation reference must resolve.
+
+Scans the documentation tier (``README.md``, ``DESIGN.md``,
+``ROADMAP.md``, ``EXPERIMENTS.md``, and everything under ``docs/``)
+for two kinds of references and fails if any is dead:
+
+* relative markdown links — ``[text](path)`` and ``[text](path#anchor)``
+  where ``path`` is not an absolute URL; the target must exist in the
+  working tree (resolved against the referencing file's directory,
+  falling back to the repo root for root-anchored paths);
+* source-location references — ``path/to/file.py:123`` (or without a
+  line number); the file must exist and, when a line number is given,
+  actually have that many lines.
+
+Stdlib only, exit status 0/1, one diagnostic line per dead reference —
+run directly (``python scripts/check_doc_links.py``) or via
+``make doc-links``.  Wired into the CI lint-analysis job so renames
+and line drift break the build instead of the reader.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: the documentation tier the gate covers
+DOC_FILES = ("README.md", "DESIGN.md", "ROADMAP.md", "EXPERIMENTS.md")
+DOC_DIRS = ("docs",)
+
+#: ``[text](target)`` — target captured up to the closing paren
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ``src/repro/core/executor.py:123`` style source references; also
+#: matches bare file paths inside backticks so renames are caught
+SOURCE_REF = re.compile(
+    r"(?P<path>(?:src|tests|scripts|benchmarks|docs)/[\w./-]+\.\w+)"
+    r"(?::(?P<line>\d+))?"
+)
+
+#: URL schemes that are not ours to verify
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[Path]:
+    """The markdown files the gate scans, in deterministic order."""
+    files = [REPO_ROOT / name for name in DOC_FILES]
+    for directory in DOC_DIRS:
+        files.extend(sorted((REPO_ROOT / directory).rglob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def resolve_relative(doc: Path, target: str) -> Path | None:
+    """Resolve a relative link against the doc's directory, falling
+    back to the repo root (docs under ``docs/`` habitually link to
+    root-level files both ways); returns the first existing path, or
+    ``None``."""
+    candidates = [doc.parent / target, REPO_ROOT / target]
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def check_markdown_links(doc: Path, text: str) -> list[str]:
+    """Dead relative markdown links in ``doc``, one message each."""
+    problems = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        for match in MARKDOWN_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            bare = target.split("#", 1)[0]
+            if not bare:
+                continue
+            if resolve_relative(doc, bare) is None:
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}:{number}: "
+                    f"dead link -> {target}"
+                )
+    return problems
+
+
+def check_source_refs(doc: Path, text: str) -> list[str]:
+    """Dead ``path/to/file.py:line`` references in ``doc``."""
+    problems = []
+    line_counts: dict[Path, int] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        for match in SOURCE_REF.finditer(line):
+            path = REPO_ROOT / match.group("path")
+            if not path.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}:{number}: "
+                    f"missing file -> {match.group('path')}"
+                )
+                continue
+            ref_line = match.group("line")
+            if ref_line is None or path.is_dir():
+                continue
+            if path not in line_counts:
+                line_counts[path] = len(
+                    path.read_text(encoding="utf-8").splitlines()
+                )
+            if int(ref_line) > line_counts[path]:
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}:{number}: "
+                    f"line out of range -> {match.group('path')}:"
+                    f"{ref_line} (file has {line_counts[path]} lines)"
+                )
+    return problems
+
+
+def main() -> int:
+    """Scan the documentation tier; report and fail on dead refs."""
+    problems: list[str] = []
+    for doc in iter_doc_files():
+        text = doc.read_text(encoding="utf-8")
+        problems.extend(check_markdown_links(doc, text))
+        problems.extend(check_source_refs(doc, text))
+    for problem in problems:
+        print(problem)
+    checked = len(iter_doc_files())
+    if problems:
+        print(f"{len(problems)} dead reference(s) across "
+              f"{checked} documentation files")
+        return 1
+    print(f"doc-links: OK ({checked} documentation files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Commands
 ``serve``         long-lived QA server: POST /ask, /healthz, /metrics
 ``mvqa``          build MVQA and evaluate SVQA on it (Exp-1 / Table III)
 ``bench``         concurrent batch benchmark + executor statistics
+``plan``          print the shared-sub-plan forest for an MVQA batch
 ``profile``       MVQA suite with tracing: per-stage sim-time breakdown
 ``trace``         answer one question and print its span tree
 ``chaos``         fault-injection sweep: accuracy decay vs fault rate
@@ -20,8 +21,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import SVQA, SVQAConfig, describe_query_graph, \
-    generate_query_graph, render_answer
+from repro.core import PlannerConfig, SVQA, SVQAConfig, \
+    describe_query_graph, generate_query_graph, render_answer
 from repro.errors import QueryError
 
 
@@ -203,8 +204,10 @@ def _build_mvqa_svqa(args: argparse.Namespace) -> tuple[object, SVQA]:
 
         resilience = ResilienceConfig.chaos(
             chaos_rate, seed=getattr(args, "seed", 0))
+    planner = PlannerConfig() if getattr(args, "planner", False) else None
     svqa = SVQA(dataset.scenes, dataset.kg,
-                SVQAConfig(workers=workers, resilience=resilience))
+                SVQAConfig(workers=workers, resilience=resilience,
+                           planner=planner))
     svqa.build()
     return dataset, svqa
 
@@ -223,6 +226,18 @@ def _cmd_mvqa(args: argparse.Namespace) -> int:
     ))
     print(f"overall: {percentage(row['overall'])}")
     return 0
+
+
+def _load_baseline(path: str) -> dict | None:
+    """Read a recorded ``BENCH_baseline.json``; ``None`` if absent."""
+    import json
+    import os
+
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return payload if isinstance(payload, dict) else None
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -265,6 +280,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ["validation errors", str(stats.validation_errors)],
         ["stale scope drops", str(stats.stale_scope_drops)],
     ]
+    if svqa.last_plan is not None:
+        rows += [
+            ["plan batches", str(stats.plan_batches)],
+            ["plan nodes", str(stats.plan_nodes)],
+            ["plan shared nodes", str(stats.plan_shared_nodes)],
+            ["plan overlay fills", str(stats.plan_overlay_fills)],
+        ]
     if svqa.resilience is not None:
         rows += [
             ["faults injected", str(stats.faults_injected)],
@@ -280,6 +302,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print()
     print(format_table(["Metric", "Value"], rows,
                        title="Executor statistics"))
+    if svqa.last_plan is not None:
+        baseline = _load_baseline(args.baseline)
+        if baseline is not None:
+            from repro.core import CalibratedCosts, predict_makespan
+
+            plan = svqa.last_plan
+            calibration = CalibratedCosts.from_baseline(
+                baseline, svqa.clock.costs)
+            prediction = predict_makespan(
+                plan.forest, plan.positions, args.workers, calibration)
+            measured = batch.simulated_makespan
+            error = (abs(prediction.makespan - measured) / measured
+                     if measured else 0.0)
+            print()
+            print(format_table(
+                ["Makespan", "Seconds"],
+                [["predicted (plan-aware)",
+                  f"{prediction.makespan:.3f}"],
+                 ["measured", f"{measured:.3f}"],
+                 ["relative error", f"{error:.1%}"],
+                 ["share phase (predicted)",
+                  f"{prediction.share_cost:.3f}"]],
+                title="Predicted vs measured makespan "
+                      f"(calibrated from {args.baseline})",
+            ))
+        else:
+            print(f"\n(no baseline at {args.baseline}; skipping the "
+                  "predicted-vs-measured makespan table)")
+    if args.explain:
+        from repro.observability import explain_lines
+
+        print()
+        print("Metric definitions (repro bench --explain):")
+        for line in explain_lines():
+            print(line)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Print the shared-sub-plan forest for a batch, plus the plan-aware
+    makespan prediction against the measured makespan."""
+    from repro.core import CalibratedCosts, predict_makespan, \
+        render_forest
+    from repro.eval.harness import format_table
+
+    dataset, svqa = _build_mvqa_svqa(args)
+    svqa.answer_many([q.text for q in dataset.questions],
+                     workers=args.workers)
+    plan = svqa.last_plan
+    batch = svqa.last_batch
+    assert plan is not None and batch is not None
+    print(render_forest(plan.forest, limit=args.top))
+    print(f"  share phase: {plan.share.shared_scopes} scopes + "
+          f"{plan.share.shared_neighborhoods} neighborhoods computed "
+          f"once, {plan.share.charged_seconds:.3f} s charged")
+    print()
+    baseline = _load_baseline(args.baseline)
+    if baseline is None:
+        print(f"(no baseline at {args.baseline}; skipping the "
+              "predicted-vs-measured makespan table)")
+        return 0
+    calibration = CalibratedCosts.from_baseline(baseline,
+                                                svqa.clock.costs)
+    prediction = predict_makespan(plan.forest, plan.positions,
+                                  args.workers, calibration)
+    measured = batch.simulated_makespan
+    error = (abs(prediction.makespan - measured) / measured
+             if measured else 0.0)
+    print(format_table(
+        ["Makespan", "Seconds"],
+        [["predicted (plan-aware)", f"{prediction.makespan:.3f}"],
+         ["measured", f"{measured:.3f}"],
+         ["relative error", f"{error:.1%}"]],
+        title=f"Predicted vs measured makespan "
+              f"(workers={args.workers})",
+    ))
     return 0
 
 
@@ -308,7 +406,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     else:
         dataset = build_mvqa(seed=args.seed)
     config = SVQAConfig(workers=args.workers,
-                        observability=ObservabilityConfig())
+                        observability=ObservabilityConfig(),
+                        planner=PlannerConfig() if args.planner
+                        else None)
     svqa = SVQA(dataset.scenes, dataset.kg, config)
     svqa.build()
     result = evaluate("SVQA", dataset.questions, svqa.answer_many,
@@ -380,9 +480,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 print(f"CHARGE REGRESSION: {violation}",
                       file=sys.stderr)
             return 1
-        ceiling = recorded.get("clock_counts", {}).get("vertex_match")
-        print(f"vertex_match charges within baseline ceiling "
-              f"({clock_counts.get('vertex_match', 0)} <= {ceiling})")
+        ceilings = recorded.get("clock_counts", {})
+        for operation in ("vertex_match", "edge_scan"):
+            print(f"{operation} charges within baseline ceiling "
+                  f"({clock_counts.get(operation, 0)} <= "
+                  f"{ceilings.get(operation)})")
     return 0
 
 
@@ -837,7 +939,35 @@ def main(argv: list[str] | None = None) -> int:
                             "counters to the stats table)")
     bench.add_argument("--seed", type=int, default=0,
                        help="fault-injection seed for --chaos")
+    bench.add_argument("--no-planner", dest="planner",
+                       action="store_false", default=True,
+                       help="disable the cost-based multi-query "
+                            "planner (cross-query plan sharing)")
+    bench.add_argument("--baseline", default="BENCH_baseline.json",
+                       metavar="PATH",
+                       help="recorded baseline used to calibrate the "
+                            "plan-aware makespan predictor (skipped "
+                            "when absent)")
+    bench.add_argument("--explain", action="store_true",
+                       help="print one definition line per reported "
+                            "metric (from the shared glossary)")
     bench.set_defaults(handler=_cmd_bench)
+
+    plan = commands.add_parser(
+        "plan",
+        help="print the shared-sub-plan forest for an MVQA batch and "
+             "the predicted-vs-measured makespan",
+    )
+    plan.add_argument("--fast", action="store_true")
+    plan.add_argument("--workers", type=_positive_int, default=1,
+                      help="worker threads for batch answering")
+    plan.add_argument("--baseline", default="BENCH_baseline.json",
+                      metavar="PATH",
+                      help="recorded baseline used to calibrate the "
+                           "makespan predictor")
+    plan.add_argument("--top", type=_positive_int, default=12,
+                      help="shared nodes to list, by fan-out uses")
+    plan.set_defaults(handler=_cmd_plan, planner=True)
 
     profile = commands.add_parser(
         "profile",
@@ -861,8 +991,12 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument("--check-ceiling", default=None, metavar="PATH",
                          help="compare this run's SimClock charge "
                               "counts against a recorded baseline and "
-                              "fail if vertex_match exceeds its "
-                              "ceiling")
+                              "fail if vertex_match or edge_scan "
+                              "exceeds its ceiling")
+    profile.add_argument("--no-planner", dest="planner",
+                         action="store_false", default=True,
+                         help="profile without the multi-query "
+                              "planner (pre-planner execution path)")
     profile.set_defaults(handler=_cmd_profile)
 
     trace = commands.add_parser(

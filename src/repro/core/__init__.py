@@ -31,6 +31,24 @@ from repro.core.pipeline import (
     SVQAConfig,
     estimate_parallel_latency,
 )
+from repro.core.planner import (
+    CalibratedCosts,
+    MakespanPrediction,
+    PlanForest,
+    PlanNode,
+    PlanOverlay,
+    PlannedBatch,
+    PlannerConfig,
+    QueryPlan,
+    SharedNode,
+    build_forest,
+    build_plans,
+    canonicalize,
+    execute_shared,
+    plan_order,
+    predict_makespan,
+    render_forest,
+)
 from repro.observability.config import ObservabilityConfig
 from repro.core.stats import ExecutorStats, ExecutorStatsReport
 from repro.core.query_graph import (
@@ -49,6 +67,7 @@ __all__ = [
     "BatchResult",
     "CONSTRAINT_WORDS",
     "CacheReport",
+    "CalibratedCosts",
     "Clause",
     "DataAggregator",
     "DependencyKind",
@@ -60,27 +79,42 @@ __all__ = [
     "KeyCentricCache",
     "LFUCache",
     "LRUCache",
+    "MakespanPrediction",
     "MergeStats",
     "MergedGraph",
     "ObservabilityConfig",
+    "PlanForest",
+    "PlanNode",
+    "PlanOverlay",
+    "PlannedBatch",
+    "PlannerConfig",
     "QueryGraph",
     "QueryGraphExecutor",
+    "QueryPlan",
     "QuestionType",
     "SPOC",
     "SVQA",
     "SVQAConfig",
     "SchedulePlan",
+    "SharedNode",
     "Term",
     "VertexResult",
+    "build_forest",
+    "build_plans",
+    "canonicalize",
     "describe_query_graph",
     "estimate_parallel_latency",
+    "execute_shared",
     "extract_spoc",
     "fallback_answer",
     "final_answer",
     "generate_query_graph",
     "make_cache",
+    "plan_order",
+    "predict_makespan",
     "query_graph_from_tree",
     "render_answer",
+    "render_forest",
     "schedule_queries",
     "segment_clauses",
     "validate_spoc",

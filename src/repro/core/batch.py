@@ -45,6 +45,7 @@ from repro.resilience.events import FaultEvent
 from repro.simtime import SimClock
 
 if TYPE_CHECKING:
+    from repro.core.planner import PlanOverlay
     from repro.resilience.manager import ResilienceManager
 
 
@@ -99,6 +100,7 @@ class BatchExecutor:
         stats: ExecutorStats | None = None,
         resilience: ResilienceManager | None = None,
         tracer: Tracer | None = None,
+        plan_overlay: PlanOverlay | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -111,6 +113,9 @@ class BatchExecutor:
         self.stats = stats if stats is not None else ExecutorStats()
         self.resilience = resilience
         self.tracer = tracer
+        # frozen shared-sub-plan results from the planner's share
+        # phase, handed to every per-thread executor (None = no planner)
+        self.plan_overlay = plan_overlay
 
     def _new_shard(self) -> SimClock:
         if self.costs is not None:
@@ -167,6 +172,7 @@ class BatchExecutor:
                     config=self.config, stats=self.stats,
                     resilience=self.resilience,
                     tracer=self.tracer,
+                    plan_overlay=self.plan_overlay,
                 )
                 local.executor = executor
             trace_id = trace_ids[index] if trace_ids is not None \

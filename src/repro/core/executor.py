@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.analysis.diagnostics import DiagnosticReport
     from repro.analysis.query_validator import QueryGraphValidator
+    from repro.core.planner import PlanOverlay
     from repro.graph.model import Edge
     from repro.resilience.manager import ResilienceManager
 
@@ -127,11 +128,16 @@ class QueryGraphExecutor:
         stats: ExecutorStats | None = None,
         resilience: ResilienceManager | None = None,
         tracer: Tracer | None = None,
+        plan_overlay: PlanOverlay | None = None,
     ) -> None:
         self.merged = merged
         self.graph: Graph = merged.graph
         self.cache = cache if cache is not None else KeyCentricCache.disabled()
         self.clock = clock
+        # frozen fan-out store of shared sub-plan results for the
+        # current planned batch (None when the planner is off — the
+        # executor then runs the exact pre-planner code path)
+        self.plan_overlay = plan_overlay
         self.config = config or ExecutorConfig()
         if self.config.validation not in VALIDATION_MODES:
             raise ValueError(
@@ -477,19 +483,20 @@ class QueryGraphExecutor:
         key = ("scope", epoch, label.lower())
 
         def compute() -> tuple[list[int], int, int]:
-            if self.clock is not None:
-                self.clock.charge("scope_scan")
-            match = self.graph.candidate_index.match(
-                label, self.config.ld_threshold,
-                include_synonyms=not _is_category(label),
-            )
-            if self.clock is not None:
-                self.clock.charge("vertex_match", times=match.examined)
-            direct: list[Vertex] = []
-            for candidate in match.labels:
-                direct.extend(self.graph.find_vertices(candidate))
-            ids = [v.id for v in self._expand_to_instances(direct)]
-            return ids, match.examined, match.pruned
+            # scope-store miss: a shared sub-plan result may still be
+            # in the batch's plan overlay (the share phase warms the
+            # store, but the bounded pool can evict) — a fill replays
+            # the stored triple at cache-hit cost instead of rescanning
+            if self.plan_overlay is not None \
+                    and self.plan_overlay.epoch == epoch:
+                stored = self.plan_overlay.scope(key)
+                if stored is not None:
+                    if self.clock is not None:
+                        self.clock.charge("cache_hit")
+                    if self.stats is not None:
+                        self.stats.record_plan_fill("scope")
+                    return stored
+            return self._scope_value(label)
 
         with maybe_span(self.tracer, "cache.scope",
                         key=str(key)) as span:
@@ -506,6 +513,81 @@ class QueryGraphExecutor:
         if hit and self.clock is not None:
             self.clock.charge("cache_hit")
         return [self.graph.vertex(i) for i in ids]
+
+    def _scope_value(self, label: str) -> tuple[list[int], int, int]:
+        """The uncached scope computation: candidate-index match +
+        instance expansion, charging ``scope_scan`` and per-candidate
+        ``vertex_match`` (the body of a scope-store miss)."""
+        if self.clock is not None:
+            self.clock.charge("scope_scan")
+        match = self.graph.candidate_index.match(
+            label, self.config.ld_threshold,
+            include_synonyms=not _is_category(label),
+        )
+        if self.clock is not None:
+            self.clock.charge("vertex_match", times=match.examined)
+        direct: list[Vertex] = []
+        for candidate in match.labels:
+            direct.extend(self.graph.find_vertices(candidate))
+        ids = [v.id for v in self._expand_to_instances(direct)]
+        return ids, match.examined, match.pruned
+
+    # ------------------------------------------------------------------
+    # planner share phase (multi-query plan sharing)
+    # ------------------------------------------------------------------
+    def plan_scope_entry(
+        self, label: str
+    ) -> tuple[tuple, tuple[list[int], int, int]]:
+        """Compute one shared scope node for the planner's share phase.
+
+        Returns the exact ``(key, value)`` the scope store would hold
+        after a miss on ``label``, charging the clock like that miss
+        (``scope_scan`` + per-candidate ``vertex_match``) but touching
+        no cache counters — the share phase is plan work, not a query
+        request.
+        """
+        epoch = self._observe_epoch()
+        key = ("scope", epoch, label.lower())
+        return key, self._scope_value(label)
+
+    def plan_neighborhood(
+        self, direction: str, vertices: list[Vertex]
+    ) -> list[RelationPair]:
+        """Compute one shared neighborhood for the share phase.
+
+        The full non-structural edge set on one side of a vertex set:
+        ``direction="out"`` pairs each vertex with its out-neighbors
+        (what the subject branches of ``_relation_pairs`` scan),
+        ``"in"`` with its in-neighbors (the objects-only branch).
+        Charges ``path_probe`` plus the true ``edge_scan`` mass, i.e.
+        exactly what one cold path request over these endpoints pays —
+        every *other* consumer of the result then derives its pairs by
+        membership filtering instead of rescanning.
+        """
+        if direction not in ("out", "in"):
+            raise ValueError(f"direction must be 'out' or 'in', "
+                             f"got {direction!r}")
+        if self.clock is not None:
+            self.clock.charge("path_probe")
+            if direction == "out":
+                scans = sum(self.graph.out_degree(v.id) for v in vertices)
+            else:
+                scans = sum(self.graph.in_degree(v.id) for v in vertices)
+            self.clock.charge("edge_scan", times=scans)
+        if direction == "out":
+            pairs = [
+                RelationPair(vertex, edge, self.graph.vertex(edge.dst))
+                for vertex in vertices
+                for edge in self.graph.out_edges(vertex.id)
+            ]
+        else:
+            pairs = [
+                RelationPair(self.graph.vertex(edge.src), edge, vertex)
+                for vertex in vertices
+                for edge in self.graph.in_edges(vertex.id)
+            ]
+        return [p for p in pairs
+                if p.edge.label not in _STRUCTURAL_LABELS]
 
     def _labels_match(self, query: str, candidate: str) -> bool:
         """``matchVertex``'s label test — the reference predicate.
@@ -647,6 +729,16 @@ class QueryGraphExecutor:
         def compute() -> list[RelationPair]:
             if self.clock is not None:
                 self.clock.charge("path_probe")
+            # path-store miss: when the batch's plan overlay holds the
+            # shared neighborhood of these endpoints, derive the exact
+            # pair list by membership filtering (pair_filter per stored
+            # pair) instead of rescanning the edge mass
+            derived = self._pairs_from_overlay(
+                spoc, binding, subjects, objects, epoch=key[1]
+            )
+            if derived is not None:
+                return derived
+            if self.clock is not None:
                 # charge the edge mass of the branch actually taken:
                 # the subject branches scan subject out-edges, but the
                 # objects-only branch scans every object's *in*-edges
@@ -692,6 +784,74 @@ class QueryGraphExecutor:
         # handed to callers, or a later in-place mutation would
         # corrupt the cache entry for every subsequent hit
         return list(pairs)
+
+    def _pairs_from_overlay(
+        self,
+        spoc: SPOC,
+        binding: dict[str, list[str] | None],
+        subjects: list[Vertex],
+        objects: list[Vertex],
+        epoch: int,
+    ) -> list[RelationPair] | None:
+        """Derive a path result from a shared neighborhood, if possible.
+
+        Applies only when the branch ``_relation_pairs`` would take is
+        anchored on a *static* plain term (no provider binding, no
+        possessive) whose shared neighborhood is in the overlay under
+        the same epoch, **and** the neighborhood was computed from
+        exactly the vertex set resolved at runtime (degraded slot
+        resolution — a retry-exhausted match falling back to an empty
+        set — therefore falls through to the normal scan).  Returns
+        ``None`` when no derivation applies; the caller then pays the
+        ordinary edge-scan cost.
+        """
+        overlay = self.plan_overlay
+        if overlay is None or overlay.epoch != epoch:
+            return None
+        if subjects:
+            term = spoc.subject
+            if binding["subject"] is not None or term is None \
+                    or term.owner is not None:
+                return None
+            entry = overlay.neighborhood(
+                ("nbr", epoch, "out", term.head.lower())
+            )
+            if entry is None:
+                return None
+            source_ids, stored = entry
+            if source_ids != tuple(v.id for v in subjects):
+                return None
+            if self.clock is not None:
+                self.clock.charge("pair_filter", times=len(stored))
+            if self.stats is not None:
+                self.stats.record_plan_fill("path")
+            if objects:
+                object_map = {v.id: v for v in objects}
+                return [
+                    RelationPair(p.subject, p.edge,
+                                 object_map[p.edge.dst])
+                    for p in stored if p.edge.dst in object_map
+                ]
+            return list(stored)
+        if objects:
+            term = spoc.object
+            if binding["object"] is not None or term is None \
+                    or term.owner is not None:
+                return None
+            entry = overlay.neighborhood(
+                ("nbr", epoch, "in", term.head.lower())
+            )
+            if entry is None:
+                return None
+            source_ids, stored = entry
+            if source_ids != tuple(v.id for v in objects):
+                return None
+            if self.clock is not None:
+                self.clock.charge("pair_filter", times=len(stored))
+            if self.stats is not None:
+                self.stats.record_plan_fill("path")
+            return list(stored)
+        return None
 
     def _slot_key(
         self, term: Term | None, bound: list[str] | None

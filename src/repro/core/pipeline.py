@@ -42,6 +42,15 @@ from repro.core.answer import Answer, fallback_answer
 from repro.core.batch import BatchExecutor, BatchResult
 from repro.core.cache import CacheReport, KeyCentricCache
 from repro.core.executor import ExecutorConfig, QueryGraphExecutor
+from repro.core.planner import (
+    PlannedBatch,
+    PlannerConfig,
+    PlanOverlay,
+    build_forest,
+    build_plans,
+    execute_shared,
+    plan_order,
+)
 from repro.core.query_graph import generate_query_graph
 from repro.core.scheduler import schedule_queries
 from repro.core.spoc import QueryGraph
@@ -70,6 +79,11 @@ class SVQAConfig:
     enable_path_cache: bool = True
     enable_scheduler: bool = True
     workers: int = 1  # worker threads for answer_many (1 = serial)
+    #: cost-based multi-query planner (cross-query plan sharing +
+    #: affinity ordering); ``None`` keeps the batch path bit-identical
+    #: to the pre-planner system — same answers, span multisets, and
+    #: metric families
+    planner: PlannerConfig | None = None
     #: resilience layer (fault injection / retry / deadline / breaker);
     #: ``None`` keeps the whole layer strictly zero-cost
     resilience: ResilienceConfig | None = None
@@ -123,8 +137,10 @@ class SVQA:
         self._executor: QueryGraphExecutor | None = None
         self._stats = ExecutorStats()
         self._last_batch: BatchResult | None = None
+        self._last_plan: PlannedBatch | None = None
         self.tracer: Tracer | None = None
         self._trace_seq = 0
+        self._plan_seq = 0
         obs = self.config.observability
         if obs is not None and obs.trace:
             self.tracer = Tracer(
@@ -435,7 +451,10 @@ class SVQA:
             parse_degraded.append(degraded)
 
         order = list(range(len(questions)))
-        if self.config.enable_scheduler:
+        overlay: PlanOverlay | None = None
+        if self.config.planner is not None:
+            order, overlay = self._plan_batch(graphs)
+        elif self.config.enable_scheduler:
             valid = [i for i, g in enumerate(graphs) if g is not None]
             plan = schedule_queries([graphs[i] for i in valid])
             order = [valid[i] for i in plan.order] + \
@@ -446,6 +465,7 @@ class SVQA:
             config=self.config.executor, workers=workers,
             costs=self.clock.costs, stats=self._stats,
             resilience=self.resilience, tracer=self.tracer,
+            plan_overlay=overlay,
         )
         result = batch.run(graphs, order=order, trace_ids=trace_ids,
                            deadlines=deadlines)
@@ -456,6 +476,57 @@ class SVQA:
                 result, questions, graphs, pre_events, parse_degraded
             )
         return result.answers
+
+    def _plan_batch(
+        self, graphs: list[QueryGraph | None]
+    ) -> tuple[list[int], PlanOverlay]:
+        """The cost-based planner path of :meth:`answer_many`.
+
+        Canonicalizes the parsed graphs under the current graph epoch,
+        detects structurally shared sub-plans across the batch,
+        executes each shared node exactly once on the main thread (the
+        ``planner.share`` span, charged to the aggregate clock), and
+        chooses an affinity-clustered execution order.  Returns the
+        submission order plus the frozen fan-out overlay the batch's
+        executors will consult; unparseable slots go last, exactly as
+        on the scheduler path.
+        """
+        config = self.config.planner
+        assert config is not None
+        assert self.merged is not None
+        valid = [i for i, g in enumerate(graphs) if g is not None]
+        valid_graphs: list[QueryGraph] = \
+            [g for g in graphs if g is not None]
+        epoch = self.merged.graph.epoch
+        plans = build_plans(valid_graphs, epoch)
+        forest = build_forest(plans, epoch,
+                              threshold=config.share_threshold)
+        positions = plan_order(plans, forest, reorder=config.reorder)
+        order = [valid[p] for p in positions] + \
+            [i for i, g in enumerate(graphs) if g is None]
+        overlay = PlanOverlay(epoch)
+        share_executor = QueryGraphExecutor(
+            self.merged, cache=self._cache, clock=self.clock,
+            config=self.config.executor, stats=self._stats,
+            resilience=self.resilience, tracer=self.tracer,
+        )
+        trace_id = f"plan{self._plan_seq:04d}"
+        self._plan_seq += 1
+        with maybe_trace(self.tracer, trace_id, self.clock), \
+                maybe_span(self.tracer, "planner.share",
+                           queries=len(valid_graphs)) as span:
+            share = execute_shared(forest, share_executor, overlay,
+                                   stats=self._stats)
+            if span is not None:
+                span.set("shared_scopes", share.shared_scopes)
+                span.set("shared_neighborhoods",
+                         share.shared_neighborhoods)
+        overlay.freeze()
+        self._stats.record_plan_batch(forest.node_counts())
+        self._last_plan = PlannedBatch(forest=forest,
+                                       positions=positions,
+                                       order=order, share=share)
+        return order, overlay
 
     def _attach_batch_provenance(
         self,
@@ -504,6 +575,12 @@ class SVQA:
     def last_batch(self) -> BatchResult | None:
         """The most recent ``answer_many`` run's :class:`BatchResult`."""
         return self._last_batch
+
+    @property
+    def last_plan(self) -> PlannedBatch | None:
+        """The most recent planned batch (``None`` when the planner is
+        off or no batch has run)."""
+        return self._last_plan
 
     @property
     def stats(self) -> ExecutorStats:

@@ -30,6 +30,7 @@ from repro.locks import note_read, note_write, wrap_lock
 from repro.observability.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
+    Counter,
     MetricsRegistry,
 )
 
@@ -99,6 +100,14 @@ class ExecutorStatsReport:
     stale_scope_drops: int = 0
     #: warm starts that degraded to a full vision-pipeline rebuild
     store_rebuilds: int = 0
+    #: batches routed through the cost-based multi-query planner
+    plan_batches: int = 0
+    #: canonical plan nodes discovered across planned batches
+    plan_nodes: int = 0
+    #: shared sub-plan nodes executed once and fanned out
+    plan_shared_nodes: int = 0
+    #: cache-miss closures served from the plan overlay
+    plan_overlay_fills: int = 0
 
     @property
     def scope_hit_rate(self) -> float:
@@ -205,6 +214,43 @@ class ExecutorStats:
             "Circuit-breaker state by site "
             "(0=closed, 1=half-open, 2=open).",
             labels=("site",))
+        # planner families are registered lazily on first planner use:
+        # a registered family is exported even with zero series, and
+        # the planner-off path must keep /metrics snapshots
+        # byte-identical to the pre-planner system
+        self._plan_batches: Counter | None = None
+        self._plan_nodes: Counter | None = None
+        self._plan_shared: Counter | None = None
+        self._plan_fills: Counter | None = None
+
+    def _ensure_plan_metrics(self) -> None:
+        """Register the ``svqa_plan_*`` families (idempotent).
+
+        Called from the planner's record methods; the first call runs
+        on the main thread during the share phase, before any worker
+        forks, and the registry's get-or-create is lock-guarded, so
+        later defensive calls are safe from any thread.
+        """
+        if self._plan_batches is not None:
+            return
+        r = self.registry
+        self._plan_batches = r.counter(
+            "svqa_plan_batches_total",
+            "Batches routed through the multi-query planner.")
+        self._plan_nodes = r.counter(
+            "svqa_plan_nodes_total",
+            "Canonical plan nodes discovered, by kind.",
+            labels=("kind",))
+        self._plan_shared = r.counter(
+            "svqa_plan_shared_nodes_total",
+            "Shared sub-plan nodes executed once and fanned out, "
+            "by kind.",
+            labels=("kind",))
+        self._plan_fills = r.counter(
+            "svqa_plan_overlay_fills_total",
+            "Cache-miss closures served from the plan overlay, "
+            "by store.",
+            labels=("store",))
 
     def record_query(self, vertex_count: int) -> None:
         """One query ran to completion, executing ``vertex_count``
@@ -294,6 +340,31 @@ class ExecutorStats:
         if count > 0:
             self._stale_drops.inc(count)
 
+    def record_plan_batch(self, nodes: dict[str, int]) -> None:
+        """One batch went through the planner, discovering ``nodes``
+        canonical plan nodes (keyed by node kind); the shared subset
+        is recorded per execution by :meth:`record_plan_shared`."""
+        self._ensure_plan_metrics()
+        assert self._plan_batches is not None
+        assert self._plan_nodes is not None
+        self._plan_batches.inc()
+        for kind, count in sorted(nodes.items()):
+            if count > 0:
+                self._plan_nodes.inc(count, kind=kind)
+
+    def record_plan_shared(self, kind: str) -> None:
+        """The share phase executed one shared sub-plan node."""
+        self._ensure_plan_metrics()
+        assert self._plan_shared is not None
+        self._plan_shared.inc(kind=kind)
+
+    def record_plan_fill(self, store: str) -> None:
+        """One cache-miss closure was served from the plan overlay
+        instead of recomputing (``store`` is ``scope`` or ``path``)."""
+        self._ensure_plan_metrics()
+        assert self._plan_fills is not None
+        self._plan_fills.inc(store=store)
+
     def record_store_rebuild(self) -> None:
         """A warm start found the durable store unrecoverable and
         degraded to a full rebuild."""
@@ -355,4 +426,12 @@ class ExecutorStats:
             degraded_answers=int(self._degraded.total()),
             stale_scope_drops=int(self._stale_drops.total()),
             store_rebuilds=int(self._store_rebuilds.total()),
+            plan_batches=int(self._plan_batches.total())
+            if self._plan_batches is not None else 0,
+            plan_nodes=int(self._plan_nodes.total())
+            if self._plan_nodes is not None else 0,
+            plan_shared_nodes=int(self._plan_shared.total())
+            if self._plan_shared is not None else 0,
+            plan_overlay_fills=int(self._plan_fills.total())
+            if self._plan_fills is not None else 0,
         )

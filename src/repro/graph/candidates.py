@@ -120,6 +120,7 @@ class _LengthBucket:
         self.chars: dict[tuple[str, int], dict[str, None]] = {}
 
     def add(self, label: str, lowered: str) -> None:
+        """Register ``label`` under its bigram and occurrence keys."""
         self.labels[label] = None
         for bigram in sorted(label_bigrams(lowered)):
             self.postings.setdefault(bigram, {})[label] = None
@@ -127,6 +128,7 @@ class _LengthBucket:
             self.chars.setdefault(key, {})[label] = None
 
     def remove(self, label: str, lowered: str) -> None:
+        """Drop ``label`` from every posting list that holds it."""
         del self.labels[label]
         for bigram in sorted(label_bigrams(lowered)):
             bucket = self.postings.get(bigram)
@@ -349,6 +351,7 @@ class VertexCandidateIndex:
         return len(self._refs)
 
     def __contains__(self, label: str) -> bool:
+        """Whether ``label`` is currently indexed."""
         return label in self._refs
 
     def count(self, label: str) -> int:

@@ -47,12 +47,15 @@ class LabelIndex:
         return {label: len(bucket) for label, bucket in self._by_label.items()}
 
     def __contains__(self, label: str) -> bool:
+        """Whether any element is registered under ``label``."""
         return label in self._by_label
 
     def __len__(self) -> int:
+        """Number of distinct labels with at least one element."""
         return len(self._by_label)
 
     def __iter__(self) -> Iterator[str]:
+        """Iterate over the registered labels."""
         return iter(self._by_label)
 
     def update_many(self, label: str, element_ids: Iterable[int]) -> None:

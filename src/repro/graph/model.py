@@ -64,6 +64,7 @@ class Vertex:
     props: dict[str, Any] = field(default_factory=dict)
 
     def __hash__(self) -> int:
+        """Hash by id (labels and props are mutable)."""
         return hash(self.id)
 
 
@@ -78,6 +79,7 @@ class Edge:
     props: dict[str, Any] = field(default_factory=dict)
 
     def __hash__(self) -> int:
+        """Hash by id (labels and props are mutable)."""
         return hash(self.id)
 
 
@@ -298,6 +300,7 @@ class Graph:
             raise EdgeNotFoundError(edge_id) from None
 
     def has_vertex(self, vertex_id: int) -> bool:
+        """Whether ``vertex_id`` exists in the graph."""
         return vertex_id in self._vertices
 
     def vertices(self) -> Iterator[Vertex]:
@@ -309,14 +312,17 @@ class Graph:
         return iter(self._edges.values())
 
     def vertex_ids(self) -> Iterable[int]:
+        """A view over every vertex id."""
         return self._vertices.keys()
 
     @property
     def vertex_count(self) -> int:
+        """Number of vertices."""
         return len(self._vertices)
 
     @property
     def edge_count(self) -> int:
+        """Number of edges."""
         return len(self._edges)
 
     def out_edges(self, vertex_id: int) -> list[Edge]:
@@ -332,11 +338,13 @@ class Graph:
         return [self._edges[e] for e in self._in[vertex_id]]
 
     def out_degree(self, vertex_id: int) -> int:
+        """Number of edges leaving ``vertex_id``."""
         if vertex_id not in self._vertices:
             raise VertexNotFoundError(vertex_id)
         return len(self._out[vertex_id])
 
     def in_degree(self, vertex_id: int) -> int:
+        """Number of edges entering ``vertex_id``."""
         if vertex_id not in self._vertices:
             raise VertexNotFoundError(vertex_id)
         return len(self._in[vertex_id])
@@ -371,9 +379,11 @@ class Graph:
         return [self._edges[i] for i in self.edge_labels.ids(label)]
 
     def __contains__(self, vertex_id: int) -> bool:
+        """Whether ``vertex_id`` exists in the graph."""
         return vertex_id in self._vertices
 
     def __repr__(self) -> str:
+        """Compact summary: name plus vertex/edge counts."""
         return (
             f"Graph(name={self.name!r}, vertices={self.vertex_count}, "
             f"edges={self.edge_count})"

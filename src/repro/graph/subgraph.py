@@ -34,6 +34,7 @@ class SubgraphView:
     label_index: dict[str, list[int]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        """Build the per-view label index from the parent's labels."""
         index: dict[str, list[int]] = {}
         for vertex_id in self.vertex_ids:
             label = self.parent.vertex(vertex_id).label
@@ -42,6 +43,7 @@ class SubgraphView:
 
     @property
     def vertex_count(self) -> int:
+        """Number of vertices inside the view."""
         return len(self.vertex_ids)
 
     def vertices(self) -> list[Vertex]:
@@ -62,6 +64,7 @@ class SubgraphView:
         return [self.parent.vertex(i) for i in self.label_index.get(label, ())]
 
     def __contains__(self, vertex_id: int) -> bool:
+        """Whether ``vertex_id`` is part of the view."""
         return vertex_id in self.vertex_ids
 
 

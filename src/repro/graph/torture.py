@@ -56,6 +56,7 @@ class _DigestTee:
         self.digests = digests
 
     def record(self, op: dict[str, Any]) -> None:
+        """Apply one mutation and remember the post-epoch digest."""
         self.store.record(op)
         self.digests[op["epoch"]] = extensional_digest(self.graph)
 
@@ -99,6 +100,7 @@ class TortureCase:
     quarantined: int
 
     def to_json(self) -> dict[str, Any]:
+        """JSON-serializable form of this case's verdict."""
         return {
             "kind": self.kind,
             "detail": self.detail,
@@ -121,9 +123,11 @@ class TortureReport:
 
     @property
     def passed(self) -> bool:
+        """Whether every torture case recovered correctly."""
         return not self.failures
 
     def to_json(self) -> dict[str, Any]:
+        """JSON-serializable form of the full sweep report."""
         return {
             "seed": self.seed,
             "base_epoch": self.base_epoch,

@@ -27,6 +27,11 @@ from repro.observability.metrics import (
     MetricsRegistry,
     parse_prometheus,
 )
+from repro.observability.glossary import (
+    BENCH_GLOSSARY,
+    METRIC_GLOSSARY,
+    explain_lines,
+)
 from repro.observability.profiler import (
     BASELINE_SCHEMA_VERSION,
     StageRow,
@@ -47,11 +52,13 @@ from repro.observability.spans import (
 
 __all__ = [
     "BASELINE_SCHEMA_VERSION",
+    "BENCH_GLOSSARY",
     "COUNT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
+    "METRIC_GLOSSARY",
     "MetricsRegistry",
     "ObservabilityConfig",
     "SPAN_NAMES",
@@ -61,6 +68,7 @@ __all__ = [
     "build_baseline",
     "charge_ceiling_violations",
     "dump_deterministic_json",
+    "explain_lines",
     "maybe_span",
     "maybe_trace",
     "parse_prometheus",

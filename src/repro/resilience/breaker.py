@@ -48,6 +48,7 @@ class CircuitBreaker:
 
     @property
     def state(self) -> str:
+        """Current breaker state: closed, half-open, or open."""
         with self._lock:
             return self._state
 

@@ -60,6 +60,7 @@ class FaultSpec:
     fail_times: int = 1
 
     def __post_init__(self) -> None:
+        """Validate rates and fractions fall in their legal ranges."""
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         if not 0.0 <= self.persistent_fraction <= 1.0:
@@ -120,6 +121,7 @@ class FaultInjector:
         return cls(seed=seed, specs=dict.fromkeys(FAULT_SITES, spec))
 
     def spec_for(self, site: str) -> FaultSpec | None:
+        """The fault spec registered for ``site``, if any."""
         if site not in FAULT_SITES:
             raise ValueError(f"unregistered fault site: {site!r}")
         return self.specs.get(site)

@@ -33,6 +33,7 @@ class RetryPolicy:
     jitter: float = 0.1            # fraction of the delay, +-
 
     def __post_init__(self) -> None:
+        """Validate the retry policy's numeric parameters."""
         if self.max_attempts < 1:
             raise ValueError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
@@ -79,6 +80,7 @@ class DeadlineBudget:
 
     @classmethod
     def start(cls, clock: SimClock, limit: float) -> DeadlineBudget:
+        """Open a budget of ``limit`` sim-seconds starting now."""
         if limit <= 0:
             raise ValueError(f"deadline limit must be > 0, got {limit}")
         return cls(clock=clock, limit=limit, started_at=clock.elapsed)
@@ -90,10 +92,12 @@ class DeadlineBudget:
 
     @property
     def remaining(self) -> float:
+        """Simulated seconds left before the budget is exceeded."""
         return self.limit - self.consumed
 
     @property
     def exceeded(self) -> bool:
+        """Whether the budget has been overspent."""
         return self.consumed > self.limit
 
     def check(self, site: str = "query") -> None:

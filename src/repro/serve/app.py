@@ -257,6 +257,7 @@ class QAService:
         environ: dict[str, object],
         start_response: Callable[..., object],
     ) -> Iterable[bytes]:
+        """WSGI entry point: route, handle, and meter one request."""
         method = str(environ.get("REQUEST_METHOD", "GET")).upper()
         path = str(environ.get("PATH_INFO", "/"))
         route = path if path in ("/ask", "/healthz", "/metrics") \
@@ -436,7 +437,7 @@ class _QuietHandler(WSGIRequestHandler):
     """Suppress per-request stderr lines (metrics cover visibility)."""
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        pass
+        """Drop the default per-request access-log line."""
 
 
 def make_qa_server(

@@ -54,6 +54,7 @@ DEFAULT_COSTS: dict[str, float] = {
     "edge_scan": 0.000028,          # scanning one edge during getRelations
     "embed_score": 0.0007,          # one maxScore embedding comparison
     "cache_hit": 0.0004,            # fetching a cached scope/path item
+    "pair_filter": 0.000007,        # membership test on one materialized pair
     "kg_lookup": 0.006,             # direct storage lookup for rare vertices
     "subgraph_extract": 0.05,       # extracting one G[S(t,k)]
     "merge_link": 0.0008,           # linking one scene-graph vertex

@@ -1,0 +1,224 @@
+"""Tests for cost-based multi-query plan sharing (DESIGN.md §5j)."""
+
+import pytest
+
+from repro.core import (
+    CalibratedCosts,
+    ObservabilityConfig,
+    PlanOverlay,
+    PlannerConfig,
+    QueryGraphExecutor,
+    SVQA,
+    SVQAConfig,
+    build_forest,
+    build_plans,
+    canonicalize,
+    generate_query_graph,
+    plan_order,
+    predict_makespan,
+)
+from repro.dataset.kg import build_commonsense_kg
+from repro.synth import SceneGenerator
+from tests.core.test_executor import make_merged
+
+QUESTIONS = [
+    "How many dogs are standing on the grass?",
+    "Is there a fence near the grass?",
+    "What kind of animals is carried by the pets that are standing "
+    "on the grass?",
+    "Is there a cat near the grass?",
+    "How many dogs are standing on the grass?",
+    "Is there a dog near the fence?",
+]
+
+
+def parse_all(questions=QUESTIONS):
+    return [generate_query_graph(q) for q in questions]
+
+
+def build_system(planner=None, observability=None):
+    scenes = SceneGenerator(seed=31).generate_pool(40)
+    config = SVQAConfig(planner=planner, observability=observability)
+    system = SVQA(scenes, build_commonsense_kg(), config)
+    system.build()
+    return system
+
+
+@pytest.fixture(scope="module")
+def svqa_on():
+    return build_system(planner=PlannerConfig(),
+                        observability=ObservabilityConfig())
+
+
+@pytest.fixture(scope="module")
+def svqa_off():
+    return build_system(planner=None,
+                        observability=ObservabilityConfig())
+
+
+def answer_dicts(system, workers=1):
+    return [a.to_dict() for a in system.answer_many(QUESTIONS,
+                                                    workers=workers)]
+
+
+class TestCanonicalization:
+    def test_same_input_same_forest_signature(self):
+        epoch = 17
+        first = build_forest(build_plans(parse_all(), epoch), epoch)
+        second = build_forest(build_plans(parse_all(), epoch), epoch)
+        assert first.signature() == second.signature()
+
+    def test_repeated_questions_share_nodes(self):
+        epoch = 3
+        forest = build_forest(build_plans(parse_all(), epoch), epoch)
+        assert forest.shared, "repeated questions must share sub-plans"
+        scopes = forest.shared_by_kind("scope")
+        assert any(node.node.key[2] == "grass" for node in scopes)
+        for shared in forest.shared.values():
+            assert shared.uses >= 2
+            assert shared.node.key[1] == epoch
+
+    def test_share_threshold_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            build_forest([], epoch=0, threshold=1)
+
+    def test_dynamic_slots_are_not_shared(self):
+        graph = generate_query_graph(
+            "What kind of animals is carried by the pets that are "
+            "standing on the grass?"
+        )
+        plan = canonicalize(graph, epoch=5)
+        assert plan.dynamic_scopes > 0 or plan.dynamic_paths > 0
+        # no canonical node may name a dependency-fed slot's runtime set
+        for node in plan.nodes:
+            assert node.key[1] == 5
+
+    def test_plan_order_is_permutation(self):
+        epoch = 9
+        plans = build_plans(parse_all(), epoch)
+        forest = build_forest(plans, epoch)
+        order = plan_order(plans, forest)
+        assert sorted(order) == list(range(len(plans)))
+        unordered = plan_order(plans, forest, reorder=False)
+        assert sorted(unordered) == list(range(len(plans)))
+
+
+class TestPredictor:
+    def test_prediction_covers_every_query(self):
+        epoch = 2
+        plans = build_plans(parse_all(), epoch)
+        forest = build_forest(plans, epoch)
+        order = plan_order(plans, forest)
+        calibration = CalibratedCosts(
+            scope_hit=0.0001, scope_miss=0.01, path_hit=0.0001,
+            path_miss=0.02, path_fill=0.002, embed_per_query=0.005,
+            scope_hit_rate=0.9, path_hit_rate=0.3, mean_edge_mass=40.0,
+        )
+        prediction = predict_makespan(forest, order, workers=2,
+                                      calibration=calibration)
+        assert len(prediction.per_query) == len(plans)
+        assert prediction.makespan > 0
+        assert prediction.total >= prediction.makespan
+        serial = predict_makespan(forest, order, workers=1,
+                                  calibration=calibration)
+        assert serial.makespan == pytest.approx(serial.total)
+
+
+def strip_latency(dicts):
+    """Drop ``meta.latency``: sharing lowers per-query charges by
+    design, while everything else must be byte-identical."""
+    for payload in dicts:
+        payload["meta"].pop("latency")
+    return dicts
+
+
+class TestPlannerEquivalence:
+    def test_planner_on_matches_planner_off(self, svqa_on, svqa_off):
+        assert strip_latency(answer_dicts(svqa_on)) == \
+            strip_latency(answer_dicts(svqa_off))
+
+    def test_worker_count_does_not_change_answers(self, svqa_on):
+        assert answer_dicts(svqa_on, workers=1) == \
+            answer_dicts(svqa_on, workers=4)
+
+    def test_planned_batch_is_recorded(self, svqa_on):
+        svqa_on.answer_many(QUESTIONS)
+        plan = svqa_on.last_plan
+        assert plan is not None
+        assert sorted(plan.order) == list(range(len(QUESTIONS)))
+        assert plan.forest.fanout_uses() == plan.share.fanout_uses
+        assert plan.share.charged_seconds > 0
+
+    def test_planner_emits_plan_metrics(self, svqa_on):
+        svqa_on.answer_many(QUESTIONS)
+        snapshot = svqa_on.metrics_snapshot()
+        assert "svqa_plan_batches_total" in snapshot
+        assert "svqa_plan_shared_nodes_total" in snapshot
+        names = [span.name for span in svqa_on.finished_spans()]
+        assert "planner.share" in names
+
+
+class TestOffPathPurity:
+    def test_no_plan_metrics_when_planner_off(self, svqa_off):
+        svqa_off.answer_many(QUESTIONS)
+        snapshot = svqa_off.metrics_snapshot()
+        assert not any(name.startswith("svqa_plan")
+                       for name in snapshot)
+
+    def test_no_share_span_when_planner_off(self, svqa_off):
+        svqa_off.answer_many(QUESTIONS)
+        names = {span.name for span in svqa_off.finished_spans()}
+        assert "planner.share" not in names
+
+    def test_report_defaults_are_zero(self, svqa_off):
+        svqa_off.answer_many(QUESTIONS)
+        report = svqa_off.execution_report().stats
+        assert report.plan_batches == 0
+        assert report.plan_nodes == 0
+        assert report.plan_shared_nodes == 0
+        assert report.plan_overlay_fills == 0
+        assert svqa_off.last_plan is None
+
+
+class TestEpochSafety:
+    """A mid-batch epoch bump must make shared results unreachable."""
+
+    QUESTION = "Is there a fence near the grass?"
+
+    def baseline_value(self):
+        executor = QueryGraphExecutor(make_merged())
+        return executor.execute(generate_query_graph(self.QUESTION)).value
+
+    def poisoned_overlay(self, epoch):
+        # empty scopes for both endpoints: if the executor ever serves
+        # these entries no relation pair survives and the judgment
+        # flips to "no", so a leak is a visibly wrong answer
+        overlay = PlanOverlay(epoch=epoch)
+        overlay.put_scope(("scope", epoch, "fence"), ([], 0, 0))
+        overlay.put_scope(("scope", epoch, "grass"), ([], 0, 0))
+        overlay.freeze()
+        return overlay
+
+    def test_overlay_is_consulted_at_matching_epoch(self):
+        merged = make_merged()
+        overlay = self.poisoned_overlay(merged.graph.epoch)
+        executor = QueryGraphExecutor(merged, plan_overlay=overlay)
+        answer = executor.execute(generate_query_graph(self.QUESTION))
+        # positive control: the poison IS served while epochs match,
+        # proving the guard below is what protects after the bump
+        assert answer.value != self.baseline_value()
+
+    def test_epoch_bump_makes_overlay_unreachable(self):
+        merged = make_merged()
+        overlay = self.poisoned_overlay(merged.graph.epoch)
+        merged.graph.add_vertex("marker", {"kind": "concept"})
+        assert merged.graph.epoch > overlay.epoch
+        executor = QueryGraphExecutor(merged, plan_overlay=overlay)
+        answer = executor.execute(generate_query_graph(self.QUESTION))
+        assert answer.value == self.baseline_value()
+
+    def test_frozen_overlay_rejects_writes(self):
+        overlay = PlanOverlay(epoch=0)
+        overlay.freeze()
+        with pytest.raises(RuntimeError):
+            overlay.put_scope(("scope", 0, "fence"), ([], 0, 0))

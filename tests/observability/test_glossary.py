@@ -1,0 +1,75 @@
+"""Anti-drift tests for the shared metric/bench glossary.
+
+Three artifacts describe the same metric families — the registering
+source code, :mod:`repro.observability.glossary`, and the operator
+runbook ``docs/OPERATIONS.md`` — and these tests hold them together:
+a family added in code without a glossary entry, or a glossary entry
+missing from the runbook, fails here instead of silently drifting.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+from repro.observability import (
+    BENCH_GLOSSARY,
+    METRIC_GLOSSARY,
+    explain_lines,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+OPERATIONS = REPO_ROOT / "docs" / "OPERATIONS.md"
+
+
+def registered_families():
+    """Every ``svqa_*`` string literal in the package source."""
+    families = set()
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str) \
+                    and node.value.startswith("svqa_"):
+                families.add(node.value)
+    return families
+
+
+class TestMetricGlossary:
+    def test_every_registered_family_has_a_definition(self):
+        missing = registered_families() - set(METRIC_GLOSSARY)
+        assert not missing, (
+            f"metric families registered in code but absent from "
+            f"METRIC_GLOSSARY: {sorted(missing)}"
+        )
+
+    def test_every_definition_is_registered_somewhere(self):
+        orphaned = set(METRIC_GLOSSARY) - registered_families()
+        assert not orphaned, (
+            f"METRIC_GLOSSARY entries no code registers: "
+            f"{sorted(orphaned)}"
+        )
+
+    def test_operations_runbook_covers_every_family(self):
+        text = OPERATIONS.read_text(encoding="utf-8")
+        missing = [name for name in METRIC_GLOSSARY if name not in text]
+        assert not missing, (
+            f"docs/OPERATIONS.md does not mention: {missing}"
+        )
+
+    def test_definitions_are_one_line_and_nonempty(self):
+        for name, definition in {**METRIC_GLOSSARY,
+                                 **BENCH_GLOSSARY}.items():
+            assert definition.strip(), f"empty definition for {name}"
+            assert "\n" not in definition, \
+                f"multi-line definition for {name}"
+
+
+class TestExplainOutput:
+    def test_explain_lines_cover_the_bench_glossary(self):
+        lines = explain_lines()
+        assert len(lines) == len(BENCH_GLOSSARY)
+        joined = "\n".join(lines)
+        for name in BENCH_GLOSSARY:
+            assert re.search(rf"^\s+{re.escape(name)}\s\s+", joined,
+                             re.MULTILINE), f"{name} not rendered"
