@@ -1,7 +1,8 @@
 # Convenience targets mirroring the CI workflow (.github/workflows/ci.yml)
 
 .PHONY: test lint lint-analysis sanitize docs-check doc-links profile \
-	bench chaos serve serve-smoke snapshot-smoke store-torture
+	bench chaos retrieval-fuzz serve serve-smoke snapshot-smoke \
+	store-torture
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
@@ -61,6 +62,14 @@ bench:
 # gracefully (no unhandled exception, every degraded answer attributed)
 chaos:
 	PYTHONPATH=src python -m repro chaos --fast
+
+# extensional-equivalence fuzz of the retrieval tier: the ANN index
+# must equal the linear rank_scores/max_score scans outright, and the
+# BM25 fallback must keep its normalized confidence in [0, 1]
+retrieval-fuzz:
+	PYTHONPATH=src python -m pytest -x -q tests/nlp/test_ann.py \
+		tests/nlp/test_embed_cache.py tests/retrieval \
+		tests/core/test_executor_retrieval.py
 
 # long-lived QA server over the movie scenario (POST /ask,
 # GET /healthz, GET /metrics)

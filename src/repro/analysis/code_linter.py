@@ -96,6 +96,8 @@ def default_bindings() -> tuple[RuleBinding, ...]:
             LockDisciplineRule(),
             paths=("repro/core/cache.py", "repro/core/stats.py",
                    "repro/core/batch.py",
+                   "repro/nlp/embeddings.py",
+                   "repro/nlp/ann.py",
                    "repro/observability/metrics.py",
                    "repro/observability/spans.py",
                    "repro/resilience/breaker.py",
@@ -126,6 +128,8 @@ LOCK_MODULES: tuple[str, ...] = (
     "repro/resilience/manager.py",
     "repro/resilience/breaker.py",
     "repro/graph/durable.py",
+    "repro/nlp/embeddings.py",
+    "repro/nlp/ann.py",
     "repro/observability/spans.py",
     "repro/observability/metrics.py",
     "repro/analysis/code_rules.py",

@@ -11,6 +11,7 @@ Commands
 ``trace``         answer one question and print its span tree
 ``chaos``         fault-injection sweep: accuracy decay vs fault rate
 ``stats``         print the MVQA dataset statistics (Tables I & II)
+``retrieval``     inspect the ANN + BM25 retrieval tier indexes
 ``parse``         show the query graph for a question (Algorithm 2)
 ``lint-queries``  semantic-validate query graphs (MVQA sweep or ad hoc)
 ``lint-code``     run the repo-invariant linter over the source tree
@@ -205,9 +206,14 @@ def _build_mvqa_svqa(args: argparse.Namespace) -> tuple[object, SVQA]:
         resilience = ResilienceConfig.chaos(
             chaos_rate, seed=getattr(args, "seed", 0))
     planner = PlannerConfig() if getattr(args, "planner", False) else None
+    retrieval = None
+    if getattr(args, "retrieval", False):
+        from repro.core import RetrievalConfig
+
+        retrieval = RetrievalConfig()
     svqa = SVQA(dataset.scenes, dataset.kg,
                 SVQAConfig(workers=workers, resilience=resilience,
-                           planner=planner))
+                           planner=planner, retrieval=retrieval))
     svqa.build()
     return dataset, svqa
 
@@ -286,6 +292,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ["plan nodes", str(stats.plan_nodes)],
             ["plan shared nodes", str(stats.plan_shared_nodes)],
             ["plan overlay fills", str(stats.plan_overlay_fills)],
+        ]
+    if getattr(args, "retrieval", False):
+        rows += [
+            ["ann fresh scores", str(stats.retrieval_ann_fresh)],
+            ["ann memo probes", str(stats.retrieval_ann_probes)],
+            ["retrieval fallbacks", str(stats.retrieval_fallbacks)],
         ]
     if svqa.resilience is not None:
         rows += [
@@ -405,10 +417,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                              image_count=400)
     else:
         dataset = build_mvqa(seed=args.seed)
+    retrieval = None
+    if args.retrieval:
+        from repro.core import RetrievalConfig
+
+        retrieval = RetrievalConfig()
     config = SVQAConfig(workers=args.workers,
                         observability=ObservabilityConfig(),
                         planner=PlannerConfig() if args.planner
-                        else None)
+                        else None,
+                        retrieval=retrieval)
     svqa = SVQA(dataset.scenes, dataset.kg, config)
     svqa.build()
     result = evaluate("SVQA", dataset.questions, svqa.answer_many,
@@ -481,7 +499,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                       file=sys.stderr)
             return 1
         ceilings = recorded.get("clock_counts", {})
-        for operation in ("vertex_match", "edge_scan"):
+        for operation in ("vertex_match", "edge_scan", "embed_score"):
             print(f"{operation} charges within baseline ceiling "
                   f"({clock_counts.get(operation, 0)} <= "
                   f"{ceilings.get(operation)})")
@@ -680,6 +698,61 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         [[r.question_type.value, str(r.questions), str(r.clauses),
           str(r.unique_spos), str(r.avg_images)] for r in rows],
     ))
+    return 0
+
+
+def _cmd_retrieval(args: argparse.Namespace) -> int:
+    """Inspect the retrieval tier's indexes over the merged graph.
+
+    Prints the ANN index and BM25 lexical-index statistics; with
+    ``--query`` also the ANN neighborhood of a phrase over the indexed
+    edge labels, and with ``--question`` a dry run of the ranked
+    degraded-parse fallback (the query graph it would build and the
+    confidence it would carry).
+    """
+    from repro.core import RetrievalConfig
+    from repro.eval.harness import format_table
+    from repro.resilience.degrade import retrieval_query_graph
+
+    args.retrieval = True
+    _, svqa = _build_mvqa_svqa(args)
+    assert svqa.merged is not None
+    graph = svqa.merged.graph
+    ann = graph.ann_index.stats()
+    lexical = graph.lexical_index.stats()
+    print(format_table(
+        ["Index", "Stat", "Value"],
+        [["ann", key, str(value)]
+         for key, value in sorted(ann.items())] +
+        [["bm25", key, str(value)]
+         for key, value in sorted(lexical.items())],
+        title="Retrieval-tier indexes (merged graph)",
+    ))
+    if args.query:
+        neighbors = graph.ann_index.neighbors(args.query,
+                                              limit=args.top)
+        print()
+        if neighbors:
+            print(format_table(
+                ["Edge label", "Score"],
+                [[label, f"{score:.4f}"]
+                 for label, score in neighbors],
+                title=f"ANN neighbors of {args.query!r}",
+            ))
+        else:
+            print(f"no ANN neighbors for {args.query!r} "
+                  "(no bucket collision)")
+    if args.question:
+        ranked = retrieval_query_graph(args.question, graph,
+                                       RetrievalConfig())
+        print()
+        if ranked is None:
+            print(f"retrieval fallback found no anchors for "
+                  f"{args.question!r} (keyword rung would run next)")
+        else:
+            fallback_graph, confidence = ranked
+            print(f"retrieval fallback (confidence={confidence:.3f}):")
+            print(describe_query_graph(fallback_graph))
     return 0
 
 
@@ -943,6 +1016,10 @@ def main(argv: list[str] | None = None) -> int:
                        action="store_false", default=True,
                        help="disable the cost-based multi-query "
                             "planner (cross-query plan sharing)")
+    bench.add_argument("--no-retrieval", dest="retrieval",
+                       action="store_false", default=True,
+                       help="disable the ANN retrieval tier (exact "
+                            "pre-retrieval scoring path)")
     bench.add_argument("--baseline", default="BENCH_baseline.json",
                        metavar="PATH",
                        help="recorded baseline used to calibrate the "
@@ -991,12 +1068,16 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument("--check-ceiling", default=None, metavar="PATH",
                          help="compare this run's SimClock charge "
                               "counts against a recorded baseline and "
-                              "fail if vertex_match or edge_scan "
-                              "exceeds its ceiling")
+                              "fail if vertex_match, edge_scan, or "
+                              "embed_score exceeds its ceiling")
     profile.add_argument("--no-planner", dest="planner",
                          action="store_false", default=True,
                          help="profile without the multi-query "
                               "planner (pre-planner execution path)")
+    profile.add_argument("--no-retrieval", dest="retrieval",
+                         action="store_false", default=True,
+                         help="profile without the ANN retrieval tier "
+                              "(exact pre-retrieval scoring path)")
     profile.set_defaults(handler=_cmd_profile)
 
     trace = commands.add_parser(
@@ -1032,6 +1113,23 @@ def main(argv: list[str] | None = None) -> int:
     stats = commands.add_parser("stats", help="MVQA dataset statistics")
     stats.add_argument("--fast", action="store_true")
     stats.set_defaults(handler=_cmd_stats)
+
+    retrieval = commands.add_parser(
+        "retrieval",
+        help="inspect the ANN + BM25 retrieval-tier indexes over the "
+             "MVQA merged graph",
+    )
+    retrieval.add_argument("--fast", action="store_true",
+                           help="build the reduced MVQA pool")
+    retrieval.add_argument("--query", default=None, metavar="PHRASE",
+                           help="print the ANN neighborhood of this "
+                                "phrase over the indexed edge labels")
+    retrieval.add_argument("--question", default=None, metavar="TEXT",
+                           help="dry-run the BM25-ranked degraded-"
+                                "parse fallback for this question")
+    retrieval.add_argument("--top", type=_positive_int, default=8,
+                           help="ANN neighbors to list (default 8)")
+    retrieval.set_defaults(handler=_cmd_retrieval)
 
     parse_cmd = commands.add_parser("parse", help="show a question's "
                                                   "query graph")

@@ -50,6 +50,7 @@ from repro.core.planner import (
     render_forest,
 )
 from repro.observability.config import ObservabilityConfig
+from repro.retrieval.config import RetrievalConfig
 from repro.core.stats import ExecutorStats, ExecutorStatsReport
 from repro.core.query_graph import (
     describe_query_graph,
@@ -92,6 +93,7 @@ __all__ = [
     "QueryGraphExecutor",
     "QueryPlan",
     "QuestionType",
+    "RetrievalConfig",
     "SPOC",
     "SVQA",
     "SVQAConfig",

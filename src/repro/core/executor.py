@@ -39,7 +39,9 @@ if TYPE_CHECKING:
     from repro.analysis.query_validator import QueryGraphValidator
     from repro.core.planner import PlanOverlay
     from repro.graph.model import Edge
+    from repro.nlp.ann import EmbeddingANNIndex
     from repro.resilience.manager import ResilienceManager
+    from repro.retrieval.config import RetrievalConfig
 
 from repro.errors import ExecutionError, QueryValidationError
 from repro.graph import Graph, RelationPair, Vertex, relations_between
@@ -87,6 +89,7 @@ class ExecutorConfig:
 
     ld_threshold: float = 0.34        # normalized-Levenshtein cutoff
     predicate_threshold: float = 0.55  # cosine floor for edge labels
+    constraint_threshold: float = 0.5  # cosine floor for constraints
     expansion_hops: int = 2           # "is a" hops in matchVertex
     validation: str = "warn"          # off | warn | strict
 
@@ -129,9 +132,16 @@ class QueryGraphExecutor:
         resilience: ResilienceManager | None = None,
         tracer: Tracer | None = None,
         plan_overlay: PlanOverlay | None = None,
+        retrieval: RetrievalConfig | None = None,
     ) -> None:
         self.merged = merged
         self.graph: Graph = merged.graph
+        # ANN retrieval tier: with a RetrievalConfig attached, the
+        # three embedding lookups route through the graph's score
+        # memo (answers stay byte-identical — only clock charges
+        # change); None runs the exact pre-retrieval code path
+        self._ann: EmbeddingANNIndex | None = \
+            self.graph.ann_index if retrieval is not None else None
         self.cache = cache if cache is not None else KeyCentricCache.disabled()
         self.clock = clock
         # frozen fan-out store of shared sub-plan results for the
@@ -640,9 +650,15 @@ class QueryGraphExecutor:
                 # an owner with no candidate out-edges has nothing to
                 # score: no embed_score charge, no maxScore call
                 return [], examined, pruned
-            if self.clock is not None:
-                self.clock.charge("embed_score", times=len(out_labels))
-            best, score = max_score(term.head, out_labels)
+            if self._ann is not None:
+                best, score, fresh, probes = \
+                    self._ann.best(term.head, out_labels)
+                self._charge_retrieval("possessive", fresh, probes)
+            else:
+                if self.clock is not None:
+                    self.clock.charge("embed_score",
+                                      times=len(out_labels))
+                best, score = max_score(term.head, out_labels)
             targets: dict[int, Vertex] = {}
             if best is not None and \
                     score >= self.config.predicate_threshold:
@@ -862,6 +878,20 @@ class QueryGraphExecutor:
             return ("*",)
         return (term.head.lower(), term.owner.lower() if term.owner else "")
 
+    def _charge_retrieval(self, site: str, fresh: int,
+                          probes: int) -> None:
+        """Charge one ANN-tier lookup: ``fresh`` scores computed for
+        the first time cost the same ``embed_score`` the linear scan
+        charged; ``probes`` memo hits cost the far cheaper
+        ``ann_probe``.  Zero counts charge (and record) nothing."""
+        if self.clock is not None:
+            if fresh:
+                self.clock.charge("embed_score", times=fresh)
+            if probes:
+                self.clock.charge("ann_probe", times=probes)
+        if self.stats is not None:
+            self.stats.record_retrieval(site, fresh, probes)
+
     def _filter_by_predicate(
         self, predicate: str, pairs: list[RelationPair]
     ) -> tuple[str | None, list[RelationPair]]:
@@ -869,9 +899,13 @@ class QueryGraphExecutor:
         if not pairs:
             return None, []
         labels = sorted({pair.edge.label for pair in pairs})
-        if self.clock is not None:
-            self.clock.charge("embed_score", times=len(labels))
-        ranked = rank_scores(predicate, labels)
+        if self._ann is not None:
+            ranked, fresh, probes = self._ann.rank(predicate, labels)
+            self._charge_retrieval("predicate", fresh, probes)
+        else:
+            if self.clock is not None:
+                self.clock.charge("embed_score", times=len(labels))
+            ranked = rank_scores(predicate, labels)
         best, best_score = ranked[0]
         if best_score < self.config.predicate_threshold:
             if self.stats is not None:
@@ -899,10 +933,12 @@ class QueryGraphExecutor:
                 for obj in objects:
                     if obj.label.lower() == subject.label.lower() \
                             and obj.id != subject.id:
+                        between = self.graph.edges_between(
+                            subject.id, obj.id
+                        )
                         pairs.append(RelationPair(
                             subject,
-                            self.graph.edges_between(subject.id, obj.id)[0]
-                            if self.graph.edges_between(subject.id, obj.id)
+                            between[0] if between
                             else _virtual_edge(subject, obj),
                             obj,
                         ))
@@ -924,20 +960,29 @@ class QueryGraphExecutor:
     ) -> list[RelationPair]:
         if spoc.constraint is None or not pairs:
             return pairs
-        if self.clock is not None:
-            self.clock.charge("embed_score", times=len(CONSTRAINT_WORDS))
-        constraint, score = max_score(spoc.constraint,
-                                      list(CONSTRAINT_WORDS))
-        if constraint is None or score < 0.5:
+        if self._ann is not None:
+            constraint, score, fresh, probes = self._ann.best(
+                spoc.constraint, list(CONSTRAINT_WORDS)
+            )
+            self._charge_retrieval("constraint", fresh, probes)
+        else:
+            if self.clock is not None:
+                self.clock.charge("embed_score",
+                                  times=len(CONSTRAINT_WORDS))
+            constraint, score = max_score(spoc.constraint,
+                                          list(CONSTRAINT_WORDS))
+        if constraint is None or score < self.config.constraint_threshold:
             return pairs
         keep_max = constraint.startswith("most")
-        # group by the propagating slot's label, weigh by distinct images
+        # group by the propagating slot's label — lowercased, like
+        # every other label comparison in this file, so "Dog" and
+        # "dog" pairs count as one group — weigh by distinct images
         slot = spoc.answer_role
         groups: dict[str, set] = {}
         for pair in pairs:
             vertex = pair.subject if slot == "subject" else pair.object
             evidence = pair.edge.props.get("image_id", pair.edge.id)
-            groups.setdefault(vertex.label, set()).add(evidence)
+            groups.setdefault(vertex.label.lower(), set()).add(evidence)
         counts = Counter({label: len(ev) for label, ev in groups.items()})
         if not counts:
             return pairs
@@ -948,8 +993,8 @@ class QueryGraphExecutor:
             self.stats.record_constraint()
         return [
             pair for pair in pairs
-            if (pair.subject if slot == "subject" else pair.object).label
-            in winners
+            if (pair.subject if slot == "subject"
+                else pair.object).label.lower() in winners
         ]
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.observability.spans import (
 )
 from repro.resilience.events import FaultEvent
 from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.retrieval.config import RetrievalConfig
 from repro.simtime import SimClock
 from repro.synth.scene import SyntheticScene
 from repro.vision.detector import DetectorConfig, SimulatedDetector
@@ -84,6 +85,11 @@ class SVQAConfig:
     #: to the pre-planner system — same answers, span multisets, and
     #: metric families
     planner: PlannerConfig | None = None
+    #: ANN retrieval tier (score-memo embedding lookups + BM25-ranked
+    #: degraded fallback); ``None`` keeps every output bit-identical
+    #: to the pre-retrieval system — the indexes are maintained but
+    #: never consulted
+    retrieval: RetrievalConfig | None = None
     #: resilience layer (fault injection / retry / deadline / breaker);
     #: ``None`` keeps the whole layer strictly zero-cost
     resilience: ResilienceConfig | None = None
@@ -222,6 +228,7 @@ class SVQA:
             self.merged, cache=self._cache, clock=self.clock,
             config=self.config.executor, stats=self._stats,
             resilience=self.resilience, tracer=self.tracer,
+            retrieval=self.config.retrieval,
         )
         return self.merged
 
@@ -241,6 +248,7 @@ class SVQA:
             merged, cache=self._cache, clock=self.clock,
             config=self.config.executor, stats=self._stats,
             resilience=self.resilience, tracer=self.tracer,
+            retrieval=self.config.retrieval,
         )
         return merged
 
@@ -270,15 +278,20 @@ class SVQA:
 
     def _parse_resilient(
         self, question: str, events: list[FaultEvent]
-    ) -> tuple[QueryGraph | None, bool]:
+    ) -> tuple[QueryGraph | None, float | None]:
         """Parse under the ``parse.question`` fault site.
 
-        Returns ``(graph, parse_degraded)``: when the grammar (or an
-        injected fault, permanently) rejects the question, the
-        keyword-match fallback of
+        Returns ``(graph, confidence_cap)``: ``None`` cap means a
+        clean parse.  When the grammar (or an injected fault,
+        permanently) rejects the question, the degraded fallback
+        supplies a single-clause graph and the cap its answers'
+        confidence ceiling: with the retrieval tier enabled,
+        :func:`~repro.resilience.degrade.retrieval_query_graph`
+        BM25-grounds the query and the cap is its normalized
+        retrieval score; otherwise (or when retrieval finds nothing)
         :func:`~repro.resilience.degrade.keyword_query_graph` supplies
-        a degraded single-clause graph; ``(None, True)`` means even
-        that rung failed and the caller answers ``"unknown"``.
+        the flat ``KEYWORD_FALLBACK_CONFIDENCE``.  ``(None, None)``
+        means every rung failed and the caller answers ``"unknown"``.
         """
         manager = self.resilience
         assert manager is not None
@@ -289,27 +302,46 @@ class SVQA:
                                              tracer=self.tracer),
                 clock=self.clock, events=events,
             )
-            return graph, False
+            return graph, None
         except ReproError as exc:
             events.append(FaultEvent(
                 "parse.question", "error",
                 detail=f"{type(exc).__name__}: {exc}",
             ))
         if manager.config.degrade_parse:
-            from repro.resilience.degrade import keyword_query_graph
+            if self.config.retrieval is not None and \
+                    self.merged is not None:
+                from repro.resilience.degrade import retrieval_query_graph
+
+                found = retrieval_query_graph(
+                    question, self.merged.graph, self.config.retrieval
+                )
+                if found is not None:
+                    graph, confidence = found
+                    events.append(FaultEvent(
+                        "parse.question", "degraded",
+                        detail="retrieval-ranked fallback "
+                               f"(confidence={confidence:.3f})",
+                    ))
+                    self._stats.record_retrieval_fallback(
+                        "ranked", confidence
+                    )
+                    return graph, confidence
+                self._stats.record_retrieval_fallback("empty")
+            from repro.resilience.degrade import (
+                KEYWORD_FALLBACK_CONFIDENCE,
+                keyword_query_graph,
+            )
 
             graph = keyword_query_graph(question)
             if graph is not None:
                 events.append(FaultEvent("parse.question", "degraded",
                                          detail="keyword-match fallback"))
-                return graph, True
-        return None, True
+                return graph, KEYWORD_FALLBACK_CONFIDENCE
+        return None, None
 
-    def _mark_parse_degraded(self, answer: Answer) -> None:
-        from repro.resilience.degrade import KEYWORD_FALLBACK_CONFIDENCE
-
-        answer.confidence = min(answer.confidence,
-                                KEYWORD_FALLBACK_CONFIDENCE)
+    def _mark_parse_degraded(self, answer: Answer, cap: float) -> None:
+        answer.confidence = min(answer.confidence, cap)
         if not answer.degraded:
             answer.degraded = True
             self._stats.record_degraded()
@@ -355,7 +387,7 @@ class SVQA:
         from repro.resilience.degrade import classify_question_text
 
         events: list[FaultEvent] = []
-        query_graph, parse_degraded = self._parse_resilient(question, events)
+        query_graph, parse_cap = self._parse_resilient(question, events)
         if query_graph is None:
             answer = fallback_answer(classify_question_text(question),
                                      events)
@@ -375,8 +407,8 @@ class SVQA:
             else:
                 if events:
                     answer.fault_events = events + answer.fault_events
-                if parse_degraded:
-                    self._mark_parse_degraded(answer)
+                if parse_cap is not None:
+                    self._mark_parse_degraded(answer, parse_cap)
         return answer
 
     def answer_query_graph(self, query_graph: QueryGraph) -> Answer:
@@ -425,7 +457,7 @@ class SVQA:
         trace_ids = self._next_trace_ids(len(questions))
         graphs: list[QueryGraph | None] = []
         pre_events: list[list[FaultEvent]] = []
-        parse_degraded: list[bool] = []
+        parse_caps: list[float | None] = []
         for i, question in enumerate(questions):
             events: list[FaultEvent] = []
             # the parse phase runs on the main thread; its trace
@@ -442,13 +474,13 @@ class SVQA:
                         # must cost the batch one slot, never the whole
                         # batch
                         graphs.append(None)
-                    degraded = False
+                    cap = None
                 else:
-                    graph, degraded = self._parse_resilient(question,
-                                                            events)
+                    graph, cap = self._parse_resilient(question,
+                                                       events)
                     graphs.append(graph)
             pre_events.append(events)
-            parse_degraded.append(degraded)
+            parse_caps.append(cap)
 
         order = list(range(len(questions)))
         overlay: PlanOverlay | None = None
@@ -465,7 +497,7 @@ class SVQA:
             config=self.config.executor, workers=workers,
             costs=self.clock.costs, stats=self._stats,
             resilience=self.resilience, tracer=self.tracer,
-            plan_overlay=overlay,
+            plan_overlay=overlay, retrieval=self.config.retrieval,
         )
         result = batch.run(graphs, order=order, trace_ids=trace_ids,
                            deadlines=deadlines)
@@ -473,7 +505,7 @@ class SVQA:
         self._last_batch = result
         if self.resilience is not None:
             self._attach_batch_provenance(
-                result, questions, graphs, pre_events, parse_degraded
+                result, questions, graphs, pre_events, parse_caps
             )
         return result.answers
 
@@ -509,6 +541,7 @@ class SVQA:
             self.merged, cache=self._cache, clock=self.clock,
             config=self.config.executor, stats=self._stats,
             resilience=self.resilience, tracer=self.tracer,
+            retrieval=self.config.retrieval,
         )
         trace_id = f"plan{self._plan_seq:04d}"
         self._plan_seq += 1
@@ -534,7 +567,7 @@ class SVQA:
         questions: list[str],
         graphs: list[QueryGraph | None],
         pre_events: list[list[FaultEvent]],
-        parse_degraded: list[bool],
+        parse_caps: list[float | None],
     ) -> None:
         """Fold parse-stage fault provenance into the batch's answers."""
         from repro.resilience.degrade import classify_question_text
@@ -551,8 +584,9 @@ class SVQA:
                 continue
             if pre_events[i]:
                 answer.fault_events = pre_events[i] + answer.fault_events
-            if parse_degraded[i]:
-                self._mark_parse_degraded(answer)
+            cap = parse_caps[i]
+            if cap is not None:
+                self._mark_parse_degraded(answer, cap)
 
     # ------------------------------------------------------------------
     # introspection

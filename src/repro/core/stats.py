@@ -31,8 +31,12 @@ from repro.observability.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
     Counter,
+    Histogram,
     MetricsRegistry,
 )
+
+#: histogram buckets for normalized fallback confidences in [0, 1]
+CONFIDENCE_BUCKETS: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9)
 
 #: numeric encoding of breaker states for the ``svqa_breaker_state``
 #: gauge (closed flows, half-open probes, open short-circuits)
@@ -108,6 +112,13 @@ class ExecutorStatsReport:
     plan_shared_nodes: int = 0
     #: cache-miss closures served from the plan overlay
     plan_overlay_fills: int = 0
+    #: ANN-tier scores computed for the first time (charged
+    #: ``embed_score``)
+    retrieval_ann_fresh: int = 0
+    #: ANN-tier scores served from the memo (charged ``ann_probe``)
+    retrieval_ann_probes: int = 0
+    #: degraded parses that went through the ranked retrieval fallback
+    retrieval_fallbacks: int = 0
 
     @property
     def scope_hit_rate(self) -> float:
@@ -222,6 +233,12 @@ class ExecutorStats:
         self._plan_nodes: Counter | None = None
         self._plan_shared: Counter | None = None
         self._plan_fills: Counter | None = None
+        # retrieval families follow the same lazy discipline: the
+        # retrieval-off path must keep /metrics byte-identical to the
+        # pre-retrieval system
+        self._retrieval_lookups: Counter | None = None
+        self._retrieval_fallbacks: Counter | None = None
+        self._retrieval_confidence: Histogram | None = None
 
     def _ensure_plan_metrics(self) -> None:
         """Register the ``svqa_plan_*`` families (idempotent).
@@ -251,6 +268,57 @@ class ExecutorStats:
             "Cache-miss closures served from the plan overlay, "
             "by store.",
             labels=("store",))
+
+    def _ensure_retrieval_metrics(self) -> None:
+        """Register the ``svqa_retrieval_*`` families (idempotent).
+
+        Same threading contract as :meth:`_ensure_plan_metrics`: the
+        registry's get-or-create is lock-guarded, and duplicate
+        assignments of the same family object are benign.
+        """
+        if self._retrieval_lookups is not None:
+            return
+        r = self.registry
+        self._retrieval_lookups = r.counter(
+            "svqa_retrieval_ann_lookups_total",
+            "ANN-tier scores by executor site and outcome "
+            "(fresh=computed, probe=memo hit).",
+            labels=("site", "outcome"))
+        self._retrieval_fallbacks = r.counter(
+            "svqa_retrieval_fallbacks_total",
+            "Degraded parses offered to the ranked retrieval "
+            "fallback, by outcome.",
+            labels=("outcome",))
+        self._retrieval_confidence = r.histogram(
+            "svqa_retrieval_fallback_confidence",
+            "Normalized BM25 confidence of ranked fallback answers.",
+            buckets=CONFIDENCE_BUCKETS)
+
+    def record_retrieval(self, site: str, fresh: int,
+                         probes: int) -> None:
+        """One ANN-tier lookup at ``site`` computed ``fresh`` scores
+        and served ``probes`` from the memo."""
+        self._ensure_retrieval_metrics()
+        assert self._retrieval_lookups is not None
+        if fresh:
+            self._retrieval_lookups.inc(fresh, site=site,
+                                        outcome="fresh")
+        if probes:
+            self._retrieval_lookups.inc(probes, site=site,
+                                        outcome="probe")
+
+    def record_retrieval_fallback(
+        self, outcome: str, confidence: float | None = None
+    ) -> None:
+        """One degraded parse reached the ranked retrieval fallback
+        (``outcome`` is ``ranked`` or ``empty``); ranked fallbacks
+        also observe their normalized confidence."""
+        self._ensure_retrieval_metrics()
+        assert self._retrieval_fallbacks is not None
+        assert self._retrieval_confidence is not None
+        self._retrieval_fallbacks.inc(outcome=outcome)
+        if confidence is not None:
+            self._retrieval_confidence.observe(confidence)
 
     def record_query(self, vertex_count: int) -> None:
         """One query ran to completion, executing ``vertex_count``
@@ -434,4 +502,18 @@ class ExecutorStats:
             if self._plan_shared is not None else 0,
             plan_overlay_fills=int(self._plan_fills.total())
             if self._plan_fills is not None else 0,
+            retrieval_ann_fresh=int(
+                sum(value
+                    for key, value
+                    in self._retrieval_lookups.series_items()
+                    if key[1] == "fresh"))
+            if self._retrieval_lookups is not None else 0,
+            retrieval_ann_probes=int(
+                sum(value
+                    for key, value
+                    in self._retrieval_lookups.series_items()
+                    if key[1] == "probe"))
+            if self._retrieval_lookups is not None else 0,
+            retrieval_fallbacks=int(self._retrieval_fallbacks.total())
+            if self._retrieval_fallbacks is not None else 0,
         )

@@ -26,6 +26,8 @@ from repro.errors import (
 )
 from repro.graph.candidates import VertexCandidateIndex
 from repro.graph.index import LabelIndex
+from repro.nlp.ann import EmbeddingANNIndex
+from repro.retrieval.lexical import LexicalIndex
 
 if TYPE_CHECKING:
     from typing import Protocol
@@ -112,6 +114,8 @@ class Graph:
         self.vertex_labels = LabelIndex()
         self.edge_labels = LabelIndex()
         self.candidate_index = VertexCandidateIndex()
+        self.ann_index = EmbeddingANNIndex()
+        self.lexical_index = LexicalIndex()
         self._epoch = 0
         self._mutation_sink: MutationSink | None = None
 
@@ -180,6 +184,7 @@ class Graph:
         self._in[vertex_id] = []
         self.vertex_labels.add(label, vertex_id)
         self.candidate_index.add_label(label)
+        self.lexical_index.add_document(label)
         self._epoch += 1
         if self._mutation_sink is not None:
             self._mutation_sink.record({
@@ -216,6 +221,7 @@ class Graph:
         self._out[src].append(edge.id)
         self._in[dst].append(edge.id)
         self.edge_labels.add(label, edge.id)
+        self.ann_index.add_label(label)
         self._epoch += 1
         if self._mutation_sink is not None:
             self._mutation_sink.record({
@@ -233,6 +239,7 @@ class Graph:
         self._out[edge.src].remove(edge_id)
         self._in[edge.dst].remove(edge_id)
         self.edge_labels.remove(edge.label, edge_id)
+        self.ann_index.remove_label(edge.label)
         self._epoch += 1
         if self._mutation_sink is not None:
             self._mutation_sink.record({
@@ -260,6 +267,7 @@ class Graph:
         del self._in[vertex_id]
         self.vertex_labels.remove(vertex.label, vertex_id)
         self.candidate_index.remove_label(vertex.label)
+        self.lexical_index.remove_document(vertex.label)
         self._epoch += 1
         if self._mutation_sink is not None:
             self._mutation_sink.record({
@@ -272,9 +280,11 @@ class Graph:
         vertex = self.vertex(vertex_id)
         self.vertex_labels.remove(vertex.label, vertex_id)
         self.candidate_index.remove_label(vertex.label)
+        self.lexical_index.remove_document(vertex.label)
         vertex.label = label
         self.vertex_labels.add(label, vertex_id)
         self.candidate_index.add_label(label)
+        self.lexical_index.add_document(label)
         self._epoch += 1
         if self._mutation_sink is not None:
             self._mutation_sink.record({

@@ -122,7 +122,9 @@ def build_baseline(
 def charge_ceiling_violations(
     baseline: dict[str, Any],
     counts: dict[str, int],
-    operations: tuple[str, ...] = ("vertex_match", "edge_scan"),
+    operations: tuple[str, ...] = (
+        "vertex_match", "edge_scan", "embed_score",
+    ),
 ) -> list[str]:
     """Compare a run's SimClock charge counts against a baseline's
     recorded counts; returns one message per operation that exceeds
@@ -130,11 +132,13 @@ def charge_ceiling_violations(
 
     The checked-in baseline counts are the contract: the candidate
     index must keep ``vertex_match`` at or below the number of
-    candidates it examined when the baseline was recorded, and the
+    candidates it examined when the baseline was recorded, the
     multi-query planner must keep ``edge_scan`` at or below the
-    post-plan-sharing mass — an accidental return to linear scanning
-    (or to per-query neighborhood rescans) fails CI instead of
-    silently re-inflating simulated latency.
+    post-plan-sharing mass, and the retrieval tier must keep
+    ``embed_score`` at or below the post-memo fresh-score mass — an
+    accidental return to linear scanning (or to re-embedding every
+    candidate pair) fails CI instead of silently re-inflating
+    simulated latency.
     """
     recorded = baseline.get("clock_counts", {})
     violations: list[str] = []

@@ -1,0 +1,20 @@
+"""Retrieval tier: ANN-accelerated embedding lookups and BM25 text
+retrieval over merged-graph labels.
+
+The embedding half lives in :mod:`repro.nlp.ann` (it needs numpy and
+the vector cache); this package holds the stdlib-only pieces — the
+:class:`~repro.retrieval.config.RetrievalConfig` knob that gates the
+tier (``SVQAConfig.retrieval=None`` keeps every output bit-identical
+to a build without it) and the refcounted
+:class:`~repro.retrieval.lexical.LexicalIndex` powering the ranked
+degraded-mode fallback in :mod:`repro.resilience.degrade`.
+"""
+
+from repro.retrieval.config import RetrievalConfig
+from repro.retrieval.lexical import LexicalIndex, tokenize
+
+__all__ = [
+    "LexicalIndex",
+    "RetrievalConfig",
+    "tokenize",
+]

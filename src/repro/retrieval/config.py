@@ -1,0 +1,32 @@
+"""Configuration for the retrieval tier (off by default)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetrievalConfig:
+    """Knobs for the ANN/BM25 retrieval tier.
+
+    ``SVQAConfig.retrieval = RetrievalConfig()`` routes the
+    executor's embedding lookups through the
+    :class:`~repro.nlp.ann.EmbeddingANNIndex` score memo (answers
+    stay byte-identical; only clock charges change) and upgrades the
+    degraded-mode keyword fallback to BM25-ranked retrieval with a
+    score-derived confidence.  ``None`` (the default) keeps every
+    output bit-identical to a build without the tier.
+    """
+
+    #: minimum *normalized* BM25 score (candidate score over the
+    #: label's self-score, in [0, 1]) for a fallback anchor to count
+    fallback_floor: float = 0.05
+
+    #: minimum ANN cosine for an indexed edge label to replace the
+    #: fallback predicate guess (mirrors ``predicate_threshold`` in
+    #: the executor)
+    fallback_predicate_threshold: float = 0.55
+
+    #: how many ANN neighbors the fallback (and the ``repro
+    #: retrieval`` inspect verb) asks for per probe
+    neighbor_limit: int = 8

@@ -1,0 +1,183 @@
+"""Refcounted BM25 index over merged-graph vertex labels.
+
+The degraded-parse ladder used to fall back to a flat known-noun
+keyword match with a constant confidence; this index replaces it with
+ranked retrieval: question tokens are scored against the live label
+corpus with BM25 (Robertson-Sparck Jones idf, standard ``k1``/``b``
+saturation), and the winning score — normalized by the label's
+*self-score*, so it lands in [0, 1] — flows into
+``Answer.confidence``.
+
+Maintenance mirrors :class:`~repro.graph.candidates.VertexCandidateIndex`:
+:class:`~repro.graph.model.Graph` feeds ``add_document`` /
+``remove_document`` from ``add_vertex`` / ``remove_vertex`` /
+``relabel_vertex`` behind its monotone epoch counter, refcounted so a
+label leaves the corpus exactly when its last vertex does.  Like the
+candidate index it carries no lock — mutation happens only on the
+graph-mutation thread, and the ``note_read`` / ``note_write``
+annotations let the tsan-lite sanitizer prove that claim at runtime.
+
+Ranking is deterministic: ties break on label insertion order, idf
+uses only corpus counts, and nothing here reads a clock or an
+unseeded RNG.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+from repro.locks import note_read, note_write
+
+#: BM25 term-frequency saturation / length-normalization constants
+#: (the standard Okapi defaults).
+BM25_K1 = 1.5
+BM25_B = 0.75
+
+_TOKEN_SPLIT = re.compile(r"[^0-9a-z]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens of ``text``, in order."""
+    return [t for t in _TOKEN_SPLIT.split(text.lower()) if t]
+
+
+class LexicalIndex:
+    """BM25 postings over a refcounted label corpus.
+
+    Mutate only through the :class:`~repro.graph.model.Graph`
+    mutation API; query freely from any thread once the graph is
+    built.
+    """
+
+    def __init__(self, k1: float = BM25_K1, b: float = BM25_B) -> None:
+        self._k1 = k1
+        self._b = b
+        self._refs: dict[str, int] = {}
+        self._order: dict[str, int] = {}
+        self._next_position = 0
+        self._postings: dict[str, dict[str, int]] = {}
+        self._lengths: dict[str, int] = {}
+        self._total_length = 0
+
+    # ------------------------------------------------------------------
+    # maintenance (Graph mutation API only)
+    # ------------------------------------------------------------------
+    def add_document(self, label: str) -> None:
+        """Register one more vertex carrying ``label``."""
+        note_write("retrieval.lexical", label)
+        count = self._refs.get(label, 0)
+        self._refs[label] = count + 1
+        if count:
+            return
+        self._order[label] = self._next_position
+        self._next_position += 1
+        terms = tokenize(label)
+        self._lengths[label] = len(terms)
+        self._total_length += len(terms)
+        for term, tf in Counter(terms).items():
+            self._postings.setdefault(term, {})[label] = tf
+
+    def remove_document(self, label: str) -> None:
+        """Unregister one vertex carrying ``label``; the label leaves
+        the corpus when its last vertex goes."""
+        note_write("retrieval.lexical", label)
+        count = self._refs.get(label)
+        if count is None:
+            raise KeyError(f"label {label!r} is not indexed")
+        if count > 1:
+            self._refs[label] = count - 1
+            return
+        del self._refs[label]
+        del self._order[label]
+        self._total_length -= self._lengths.pop(label)
+        for term in set(tokenize(label)):
+            postings = self._postings[term]
+            del postings[label]
+            if not postings:
+                del self._postings[term]
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def rank(self, query: str,
+             limit: int | None = None) -> list[tuple[str, float]]:
+        """Labels scored against ``query`` by BM25, best first.
+
+        Query terms are deduplicated, which both matches short-query
+        practice and guarantees ``score(q, d) <= self_score(d)`` (the
+        matched terms are a subset of the document's own), so
+        normalized confidences stay in [0, 1].  Ties break on label
+        insertion order; only labels with a positive score appear.
+        """
+        note_read("retrieval.lexical")
+        return self._rank_terms(dict.fromkeys(tokenize(query)), limit)
+
+    def self_score(self, label: str) -> float:
+        """``label`` scored against its own distinct terms — the
+        normalization ceiling for confidences."""
+        note_read("retrieval.lexical", label)
+        for candidate, score in self._rank_terms(
+                dict.fromkeys(tokenize(label)), None):
+            if candidate == label:
+                return score
+        return 0.0
+
+    def _rank_terms(self, terms: dict[str, None],
+                    limit: int | None) -> list[tuple[str, float]]:
+        """BM25 over distinct ``terms`` (insertion-ordered dict)."""
+        if not terms or not self._refs:
+            return []
+        n = len(self._refs)
+        avgdl = (self._total_length / n) or 1.0
+        scores: dict[str, float] = {}
+        for term in terms:
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            df = len(postings)
+            idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+            for label, tf in postings.items():
+                length_norm = 1.0 - self._b + \
+                    self._b * self._lengths[label] / avgdl
+                gain = idf * tf * (self._k1 + 1.0) \
+                    / (tf + self._k1 * length_norm)
+                scores[label] = scores.get(label, 0.0) + gain
+        ranked = sorted(
+            scores.items(),
+            key=lambda ls: (-ls[1], self._order[ls[0]]),
+        )
+        return ranked if limit is None else ranked[:limit]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Distinct labels currently indexed."""
+        return len(self._refs)
+
+    def __contains__(self, label: str) -> bool:
+        """Whether ``label`` is currently indexed."""
+        return label in self._refs
+
+    def count(self, label: str) -> int:
+        """Number of vertices currently carrying ``label``."""
+        return self._refs.get(label, 0)
+
+    def stats(self) -> dict[str, int]:
+        """Deterministic structural counters for ``repro retrieval``."""
+        note_read("retrieval.lexical")
+        return {
+            "labels": len(self._refs),
+            "terms": len(self._postings),
+            "total_tokens": self._total_length,
+        }
+
+
+__all__ = [
+    "BM25_B",
+    "BM25_K1",
+    "LexicalIndex",
+    "tokenize",
+]

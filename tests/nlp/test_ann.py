@@ -1,0 +1,248 @@
+"""Unit and equivalence tests for the EmbeddingANNIndex.
+
+``rank``/``best`` must be extensionally equal to the linear
+:func:`repro.nlp.embeddings.rank_scores` / ``max_score`` scans — the
+contract the executor's retrieval tier relies on for byte-identical
+answers.  The fuzz classes at the bottom mirror
+``tests/graph/test_candidates.py``: the MVQA vocabulary and randomly
+mutated synthetic graphs.
+"""
+
+import random
+
+import pytest
+
+from repro.dataset.mvqa import build_mvqa
+from repro.graph import Graph
+from repro.nlp.ann import ANN_BANDS, ANN_PLANES, EmbeddingANNIndex
+from repro.nlp.embeddings import max_score, rank_scores
+
+PREDICATES = [
+    "standing on", "sitting on", "near", "wearing", "holding",
+    "carrying", "riding", "watching", "hanging out with", "is a",
+    "wears", "held by", "next to", "on", "under",
+]
+
+
+def make_index(*labels):
+    index = EmbeddingANNIndex()
+    for label in labels:
+        index.add_label(label)
+    return index
+
+
+def assert_rank_equivalent(index, queries, candidates):
+    """``rank``/``best`` must equal the linear scans outright."""
+    for query in queries:
+        ranked, _, _ = index.rank(query, candidates)
+        assert ranked == rank_scores(query, candidates), query
+        best, score, _, _ = index.best(query, candidates)
+        assert (best, score) == max_score(query, candidates), query
+
+
+class TestConstruction:
+    def test_uneven_bands_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingANNIndex(planes=10, bands=4)
+
+    def test_default_geometry(self):
+        index = EmbeddingANNIndex()
+        stats = index.stats()
+        assert stats["planes"] == ANN_PLANES
+        assert stats["bands"] == ANN_BANDS
+
+
+class TestExactScoring:
+    def test_rank_matches_linear_scan(self):
+        index = make_index(*PREDICATES)
+        assert_rank_equivalent(index, ["wear", "stand", "sit near"],
+                               PREDICATES)
+
+    def test_empty_candidates(self):
+        index = make_index("near")
+        assert index.best("dog", []) == (None, float("-inf"), 0, 0)
+        ranked, fresh, probes = index.rank("dog", [])
+        assert ranked == [] and fresh == 0 and probes == 0
+
+    def test_fresh_then_probes(self):
+        index = make_index(*PREDICATES)
+        _, _, fresh, probes = index.best("wear", PREDICATES)
+        assert (fresh, probes) == (len(PREDICATES), 0)
+        _, _, fresh, probes = index.best("wear", PREDICATES)
+        assert (fresh, probes) == (0, len(PREDICATES))
+
+    def test_memo_is_case_insensitive(self):
+        index = make_index("Wearing", "near")
+        index.rank("Wear", ["Wearing", "near"])
+        _, fresh, probes = index.rank("wear", ["wearing", "NEAR"])
+        assert (fresh, probes) == (0, 2)
+
+    def test_duplicate_candidates_charge_like_the_scan(self):
+        # the linear scan charges per candidate occurrence, so fresh
+        # counts occurrences too (only one float is actually computed)
+        index = make_index("near")
+        ranked, fresh, probes = index.rank("near",
+                                           ["near", "near", "near"])
+        assert fresh == 3 and probes == 0
+        assert ranked == rank_scores("near", ["near", "near", "near"])
+        _, fresh, probes = index.rank("near", ["near", "near"])
+        assert fresh == 0 and probes == 2
+
+
+class TestRefcounting:
+    def test_duplicate_labels_survive_one_removal(self):
+        index = make_index("near", "near")
+        assert index.count("near") == 2
+        index.remove_label("near")
+        assert "near" in index
+        index.remove_label("near")
+        assert "near" not in index
+        assert len(index) == 0
+
+    def test_remove_unknown_label_raises(self):
+        index = make_index("near")
+        with pytest.raises(KeyError):
+            index.remove_label("far")
+
+    def test_retire_purges_memo_rows(self):
+        index = make_index("wearing", "near")
+        index.rank("wear", ["wearing", "near"])
+        assert index.stats()["memo_entries"] == 2
+        index.remove_label("wearing")
+        assert index.stats()["memo_entries"] == 1
+        index.add_label("wearing")
+        # a re-added label recomputes identical floats (scores are
+        # pure), so correctness is unaffected by the purge
+        assert_rank_equivalent(index, ["wear"], ["wearing", "near"])
+
+
+class TestNeighbors:
+    def test_finds_morphological_variant(self):
+        index = make_index(*PREDICATES)
+        neighbors = index.neighbors("wears", limit=4)
+        assert neighbors, "LSH bands missed every label"
+        labels = [label for label, _ in neighbors]
+        # the indexed identical spelling ranks first, the
+        # morphological variant lands in the same LSH neighborhood
+        assert labels[0] == "wears"
+        assert "wearing" in labels
+        scores = [score for _, score in neighbors]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic_across_instances(self):
+        one = make_index(*PREDICATES)
+        two = make_index(*PREDICATES)
+        for query in ("wears", "held", "standing"):
+            assert one.neighbors(query) == two.neighbors(query)
+
+    def test_retired_label_leaves_neighborhoods(self):
+        index = make_index(*PREDICATES)
+        assert any(label == "wearing"
+                   for label, _ in index.neighbors("wears"))
+        index.remove_label("wearing")
+        assert all(label != "wearing"
+                   for label, _ in index.neighbors("wears"))
+
+    def test_limit_truncates(self):
+        index = make_index(*PREDICATES)
+        assert len(index.neighbors("on", limit=2)) <= 2
+
+    def test_scores_are_exact(self):
+        index = make_index(*PREDICATES)
+        for label, score in index.neighbors("wears"):
+            expected = dict(rank_scores("wears", [label]))
+            assert score == expected[label]
+
+
+class TestGraphMaintenance:
+    def test_add_edge_indexes_label(self):
+        graph = Graph(name="g")
+        a = graph.add_vertex("dog", {})
+        b = graph.add_vertex("grass", {})
+        graph.add_edge(a.id, b.id, "standing on")
+        assert "standing on" in graph.ann_index
+
+    def test_remove_edge_unindexes_last_copy(self):
+        graph = Graph(name="g")
+        a = graph.add_vertex("dog", {})
+        b = graph.add_vertex("grass", {})
+        c = graph.add_vertex("cat", {})
+        first = graph.add_edge(a.id, b.id, "near")
+        graph.add_edge(c.id, b.id, "near")
+        graph.remove_edge(first.id)
+        assert graph.ann_index.count("near") == 1
+
+    def test_remove_vertex_retires_its_edge_labels(self):
+        graph = Graph(name="g")
+        a = graph.add_vertex("dog", {})
+        b = graph.add_vertex("grass", {})
+        graph.add_edge(a.id, b.id, "standing on")
+        graph.remove_vertex(a.id)
+        assert "standing on" not in graph.ann_index
+
+    def test_index_stays_fresh_across_epochs(self):
+        """Epoch-bump staleness regression: the index must track the
+        live edge-label multiset through arbitrary mutations."""
+        graph = Graph(name="g")
+        a = graph.add_vertex("dog", {})
+        b = graph.add_vertex("grass", {})
+        before = graph.epoch
+        edge = graph.add_edge(a.id, b.id, "standing on")
+        assert graph.epoch > before
+        assert graph.ann_index.labels() == ["standing on"]
+        graph.remove_edge(edge.id)
+        assert graph.ann_index.labels() == []
+
+
+FUZZ_LABELS = PREDICATES + [
+    "wore", "worn by", "sat on", "stands on", "close to", "beside",
+    "behind", "in front of", "part of", "made of", "owns", "owned by",
+]
+FUZZ_QUERIES = [
+    "wear", "wears", "sit", "stand", "near", "hold", "ride", "own",
+    "front", "behind", "hang out", "be",
+]
+
+
+class TestScanEquivalence:
+    """The ANN tier is extensionally equal to the linear embedding
+    scans — the contract the executor relies on."""
+
+    def test_mvqa_vocabulary(self):
+        dataset = build_mvqa(seed=7, pool_size=1_200, image_count=400)
+        words = sorted({
+            word.strip("?,.'\"").lower()
+            for question in dataset.questions
+            for word in question.text.split()
+            if word.strip("?,.'\"")
+        })
+        assert len(words) > 50
+        index = make_index(*FUZZ_LABELS)
+        assert_rank_equivalent(index, words, FUZZ_LABELS)
+
+    def test_interleaved_mutations(self):
+        rng = random.Random(1234)
+        for round_index in range(4):
+            graph = Graph(name=f"fuzz-{round_index}")
+            hub = graph.add_vertex("hub", {})
+            live = []
+            for step in range(50):
+                op = rng.random()
+                if op < 0.6 or not live:
+                    spoke = graph.add_vertex("spoke", {})
+                    edge = graph.add_edge(hub.id, spoke.id,
+                                          rng.choice(FUZZ_LABELS))
+                    live.append(edge.id)
+                else:
+                    graph.remove_edge(
+                        live.pop(rng.randrange(len(live)))
+                    )
+                if step % 10 == 9:
+                    labels = graph.ann_index.labels()
+                    assert set(labels) == \
+                        {e.label for e in graph.edges()}
+                    assert len(labels) == len(set(labels))
+                    queries = rng.sample(FUZZ_QUERIES, 4)
+                    if labels:
+                        assert_rank_equivalent(graph.ann_index,
+                                               queries, labels)

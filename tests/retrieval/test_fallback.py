@@ -1,0 +1,127 @@
+"""Tests for the BM25-ranked retrieval fallback rung.
+
+The degraded-parse ladder's new top rung grounds fallback queries in
+labels that actually exist in the merged graph and replaces the flat
+``KEYWORD_FALLBACK_CONFIDENCE`` with a normalized retrieval score in
+``[0, 1]``.
+"""
+
+import pytest
+
+from repro.core import SVQA, SVQAConfig, RetrievalConfig
+from repro.core.pipeline import generate_query_graph
+from repro.dataset.kg import build_commonsense_kg
+from repro.errors import TokenizationError
+from repro.graph import Graph
+from repro.resilience import ResilienceConfig
+from repro.resilience.degrade import (
+    KEYWORD_FALLBACK_CONFIDENCE,
+    retrieval_query_graph,
+)
+from repro.synth import SceneGenerator
+
+
+def make_graph():
+    graph = Graph(name="scene")
+    dog = graph.add_vertex("dog", {})
+    grass = graph.add_vertex("grass", {})
+    hydrant = graph.add_vertex("fire hydrant", {})
+    graph.add_vertex("traffic light", {})
+    graph.add_edge(dog.id, grass.id, "standing on")
+    graph.add_edge(hydrant.id, grass.id, "near")
+    return graph
+
+
+class TestRetrievalQueryGraph:
+    def test_grounds_anchors_in_live_labels(self):
+        found = retrieval_query_graph(
+            "Is there a dog near the hydrant?", make_graph(),
+            RetrievalConfig(),
+        )
+        assert found is not None
+        fallback, confidence = found
+        assert 0.0 <= confidence <= 1.0
+        spoc = fallback.vertices[fallback.main_index]
+        heads = {t.head for t in (spoc.subject, spoc.object)
+                 if t is not None}
+        # anchored to labels that exist, including the multi-word one
+        # the keyword rung's surface lemmas could never reach
+        assert heads <= {"dog", "grass", "fire hydrant",
+                         "traffic light"}
+        assert "dog" in heads
+
+    def test_exact_anchor_gives_full_confidence(self):
+        found = retrieval_query_graph(
+            "Is there a dog on the grass?", make_graph(),
+            RetrievalConfig(),
+        )
+        assert found is not None
+        _, confidence = found
+        assert confidence == pytest.approx(1.0)
+
+    def test_gibberish_retrieves_nothing(self):
+        assert retrieval_query_graph(
+            "zzzxqw vfrt qqq?", make_graph(), RetrievalConfig()
+        ) is None
+
+    def test_predicate_upgraded_to_indexed_edge_label(self):
+        graph = make_graph()
+        found = retrieval_query_graph(
+            "Is the dog standing on the grass?", graph,
+            RetrievalConfig(),
+        )
+        assert found is not None
+        fallback, _ = found
+        predicate = fallback.vertices[fallback.main_index].predicate
+        # either the raw heuristic guess or its ANN upgrade — but an
+        # upgrade must be a label the graph actually carries
+        indexed = set(graph.ann_index.labels())
+        assert predicate in indexed | {"stand", "be", "on"}
+
+    def test_floor_filters_weak_anchors(self):
+        strict = RetrievalConfig(fallback_floor=1.1)
+        assert retrieval_query_graph(
+            "Is there a dog on the grass?", make_graph(), strict
+        ) is None
+
+
+class TestEndToEndDegradedConfidence:
+    def build(self, retrieval):
+        scenes = SceneGenerator(seed=31).generate_pool(40)
+        system = SVQA(scenes, build_commonsense_kg(),
+                      SVQAConfig(resilience=ResilienceConfig.chaos(0.0),
+                                 retrieval=retrieval))
+        system.build()
+        return system
+
+    def reject_parse(self, monkeypatch, prefix):
+        real_parse = generate_query_graph
+
+        def rejecting(question, clock=None, tracer=None):
+            if question.startswith(prefix):
+                raise TokenizationError("grammar rejected")
+            return real_parse(question, clock=clock)
+
+        monkeypatch.setattr("repro.core.pipeline.generate_query_graph",
+                            rejecting)
+
+    def test_ranked_fallback_replaces_flat_confidence(self, monkeypatch):
+        system = self.build(RetrievalConfig())
+        self.reject_parse(monkeypatch, "Is there a dog")
+        answer = system.answer("Is there a dog near the fence?")
+        assert answer.degraded
+        assert 0.0 <= answer.confidence <= 1.0
+        assert any("retrieval-ranked" in (e.detail or "")
+                   for e in answer.fault_events)
+        report = system.execution_report().stats
+        assert report.retrieval_fallbacks >= 1
+
+    def test_keyword_rung_still_runs_when_retrieval_off(self,
+                                                        monkeypatch):
+        system = self.build(None)
+        self.reject_parse(monkeypatch, "Is there a dog")
+        answer = system.answer("Is there a dog near the fence?")
+        assert answer.degraded
+        assert answer.confidence <= KEYWORD_FALLBACK_CONFIDENCE
+        assert any("keyword-match" in (e.detail or "")
+                   for e in answer.fault_events)

@@ -1,0 +1,119 @@
+"""Unit tests for the BM25-ranked LexicalIndex.
+
+The fallback confidence contract hangs on one inequality: for any
+query, ``score(query, doc) <= self_score(doc)`` (query terms are
+deduplicated, so a query can never out-score the document matched
+against itself), which keeps the normalized retrieval confidence in
+``[0, 1]``.
+"""
+
+import pytest
+
+from repro.graph import Graph
+from repro.retrieval import LexicalIndex, tokenize
+
+CORPUS = [
+    "man in hat", "woman", "dog", "dog house", "fire hydrant",
+    "traffic light", "sofa", "grass",
+]
+
+
+def make_index(*labels):
+    index = LexicalIndex()
+    for label in labels:
+        index.add_document(label)
+    return index
+
+
+class TestTokenize:
+    def test_lowercases_and_splits_punctuation(self):
+        assert tokenize("The Man-in-Hat!") == ["the", "man", "in", "hat"]
+
+    def test_empty(self):
+        assert tokenize("  ?!  ") == []
+
+
+class TestRanking:
+    def test_best_match_first(self):
+        index = make_index(*CORPUS)
+        ranked = index.rank("the man with the hat")
+        assert ranked[0][0] == "man in hat"
+
+    def test_scores_descend(self):
+        index = make_index(*CORPUS)
+        scores = [score for _, score in index.rank("dog house")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit(self):
+        index = make_index(*CORPUS)
+        assert len(index.rank("man", limit=1)) == 1
+
+    def test_no_overlap_no_results(self):
+        index = make_index(*CORPUS)
+        assert index.rank("zzzxqw") == []
+
+    def test_duplicate_query_terms_are_deduplicated(self):
+        index = make_index(*CORPUS)
+        assert index.rank("dog dog dog") == index.rank("dog")
+
+    def test_query_never_beats_self_score(self):
+        index = make_index(*CORPUS)
+        queries = ["the man with the hat", "dog house dog", "woman",
+                   "fire", "a man and a woman near the dog"]
+        for query in queries:
+            for label, score in index.rank(query):
+                assert score <= index.self_score(label) + 1e-12, \
+                    (query, label)
+
+    def test_self_score_of_unknown_label_is_zero(self):
+        index = make_index("dog")
+        assert index.self_score("cat") == 0.0
+
+    def test_ties_break_by_insertion_order(self):
+        index = make_index("red ball", "red cube")
+        ranked = index.rank("red")
+        assert [label for label, _ in ranked] == \
+            ["red ball", "red cube"]
+        assert ranked[0][1] == ranked[1][1]
+
+
+class TestRefcounting:
+    def test_duplicate_documents_survive_one_removal(self):
+        index = make_index("dog", "dog")
+        index.remove_document("dog")
+        assert index.rank("dog")
+        index.remove_document("dog")
+        assert index.rank("dog") == []
+
+    def test_remove_unknown_document_raises(self):
+        index = make_index("dog")
+        with pytest.raises(KeyError):
+            index.remove_document("cat")
+
+    def test_stats(self):
+        index = make_index("dog house", "dog")
+        stats = index.stats()
+        assert stats["labels"] == 2
+        assert stats["terms"] == 2
+        assert stats["total_tokens"] == 3
+
+
+class TestGraphMaintenance:
+    def test_add_vertex_indexes_label(self):
+        graph = Graph(name="g")
+        graph.add_vertex("fire hydrant", {})
+        assert graph.lexical_index.rank("hydrant")
+
+    def test_remove_vertex_unindexes_last_copy(self):
+        graph = Graph(name="g")
+        a = graph.add_vertex("dog", {})
+        graph.add_vertex("dog", {})
+        graph.remove_vertex(a.id)
+        assert graph.lexical_index.rank("dog")
+
+    def test_relabel_vertex_moves_document(self):
+        graph = Graph(name="g")
+        v = graph.add_vertex("dog", {})
+        graph.relabel_vertex(v.id, "cat")
+        assert graph.lexical_index.rank("dog") == []
+        assert graph.lexical_index.rank("cat")
